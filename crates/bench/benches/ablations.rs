@@ -1,0 +1,84 @@
+//! Criterion bench: ablations of the design choices DESIGN.md calls out.
+//!
+//! * **tile size** — the tiled-strided tile parameter (paper rule:
+//!   #threads on CPU, 3×cores on GPU) swept over two orders of magnitude;
+//! * **sort interval** — how often a running simulation re-sorts;
+//! * **scatter mode** — atomic vs duplicated current deposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk::atomic::ScatterMode;
+use psort::{patterns, sort_pairs, SortOrder};
+use vpic_core::Deck;
+
+fn bench_tile_size(c: &mut Criterion) {
+    let keys0 = patterns::repeated_keys(1 << 13, 64, 9);
+    let values: Vec<u32> = (0..keys0.len() as u32).collect();
+    let mut g = c.benchmark_group("ablate/tile_size");
+    g.sample_size(10);
+    for tile in [16usize, 64, 256, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
+            b.iter_batched(
+                || (keys0.clone(), values.clone()),
+                |(mut k, mut v)| {
+                    sort_pairs(SortOrder::TiledStrided { tile }, &mut k, &mut v);
+                    (k, v)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate/sort_interval");
+    g.sample_size(10);
+    for interval in [1usize, 5, 20, 100] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &interval| {
+                b.iter_batched(
+                    || {
+                        let mut sim = Deck::uniform(8, 8, 8, 8).build();
+                        sim.sort_order = Some(SortOrder::Standard);
+                        sim.sort_interval = interval;
+                        sim
+                    },
+                    |mut sim| {
+                        sim.run(10);
+                        sim
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_scatter_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate/scatter_mode");
+    g.sample_size(10);
+    for (name, mode) in [("atomic", ScatterMode::Atomic), ("duplicated", ScatterMode::Duplicated)]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter_batched(
+                || {
+                    let mut sim = Deck::uniform(8, 8, 8, 8).build();
+                    sim.configure_scatter(4, mode);
+                    sim
+                },
+                |mut sim| {
+                    sim.run(5);
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tile_size, bench_sort_interval, bench_scatter_mode);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: the RAJAPerf microkernels under each vectorization
+//! strategy (the measured half of Figure 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rajaperf::{axpy, pi_reduce, planckian};
+use std::hint::black_box;
+use vsimd::Strategy;
+
+const N: usize = 1 << 20;
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/axpy");
+    g.sample_size(20);
+    let x: Vec<f64> = (0..N).map(|i| (i % 97) as f64).collect();
+    let mut y = vec![1.0f64; N];
+    for s in Strategy::MICRO {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter(|| axpy::run(s, 1.0001, black_box(&x), black_box(&mut y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_planckian(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/planckian");
+    g.sample_size(20);
+    let u: Vec<f64> = (0..N).map(|i| 0.5 + (i % 13) as f64 * 0.1).collect();
+    let v: Vec<f64> = (0..N).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    let y = vec![2.0f64; N];
+    let mut w = vec![0.0f64; N];
+    for s in Strategy::MICRO {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter(|| planckian::run(s, black_box(&u), black_box(&v), black_box(&y), &mut w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pi_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/pi_reduce");
+    g.sample_size(20);
+    for s in Strategy::MICRO {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter(|| black_box(pi_reduce::run(s, N)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_axpy, bench_planckian, bench_pi_reduce);
+criterion_main!(benches);

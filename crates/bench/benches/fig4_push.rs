@@ -1,0 +1,77 @@
+//! Criterion bench: the VPIC particle push under each vectorization
+//! strategy (the measured half of Figure 4), on the LPI deck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk::atomic::ScatterMode;
+use vpic_core::accumulate::Accumulator;
+use vpic_core::interp::load_interpolators;
+use vpic_core::push::push_species;
+use vpic_core::Deck;
+use vsimd::Strategy;
+
+fn bench_push_strategies(c: &mut Criterion) {
+    let mut sim = Deck::lpi(16, 8, 8, 8).build();
+    sim.run(5); // non-trivial fields and particle distribution
+    let grid = sim.grid.clone();
+    let interps = load_interpolators(&sim.fields);
+    let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+
+    let mut g = c.benchmark_group("fig4/push");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(sim.particle_count() as u64));
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter_batched(
+                || sim.species.clone(),
+                |mut species| {
+                    acc.reset();
+                    for sp in &mut species {
+                        push_species(s, &grid, sp, &interps, &acc);
+                    }
+                    species
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_push_by_sort_order(c: &mut Criterion) {
+    // host-side counterpart of Fig 7: particle ordering changes host push
+    // cost too (cache locality of the interpolator gathers)
+    use psort::SortOrder;
+    let mut sim = Deck::lpi(16, 8, 8, 8).build();
+    sim.run(5);
+    let grid = sim.grid.clone();
+    let interps = load_interpolators(&sim.fields);
+    let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+
+    let mut g = c.benchmark_group("fig7/host_push_order");
+    g.sample_size(10);
+    for order in SortOrder::fig7_set(128) {
+        g.bench_with_input(BenchmarkId::from_parameter(order.name()), &order, |b, &order| {
+            b.iter_batched(
+                || {
+                    let mut species = sim.species.clone();
+                    for sp in &mut species {
+                        sp.sort(order);
+                    }
+                    species
+                },
+                |mut species| {
+                    acc.reset();
+                    for sp in &mut species {
+                        push_species(Strategy::Auto, &grid, sp, &interps, &acc);
+                    }
+                    species
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_strategies, bench_push_by_sort_order);
+criterion_main!(benches);

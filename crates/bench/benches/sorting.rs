@@ -1,0 +1,82 @@
+//! Criterion bench: cost of the sorting algorithms themselves (the O(N)
+//! key rewrite + sort_by_key the paper describes in §4.3) and the host
+//! gather-scatter kernel under each resulting order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psort::gather_scatter::run_serial;
+use psort::{patterns, sort_pairs, SortOrder};
+use std::hint::black_box;
+
+const UNIQUE: usize = 1 << 13;
+const REPEATS: usize = 64;
+
+fn bench_sort_algorithms(c: &mut Criterion) {
+    let keys = patterns::repeated_keys(UNIQUE, REPEATS, 3);
+    let values: Vec<u32> = (0..keys.len() as u32).collect();
+    let mut g = c.benchmark_group("sorting/algorithms");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(keys.len() as u64));
+    for order in SortOrder::sorted_set(256) {
+        g.bench_with_input(BenchmarkId::from_parameter(order.name()), &order, |b, &order| {
+            b.iter_batched(
+                || (keys.clone(), values.clone()),
+                |(mut k, mut v)| {
+                    sort_pairs(order, &mut k, &mut v);
+                    (k, v)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather_scatter_by_order(c: &mut Criterion) {
+    let keys0 = patterns::repeated_keys(UNIQUE, REPEATS, 3);
+    let values: Vec<f64> = (0..keys0.len()).map(|i| (i % 11) as f64).collect();
+    let table: Vec<f64> = (0..UNIQUE).map(|i| (i as f64 * 0.1).sin()).collect();
+    let stencil = patterns::five_point_stencil((UNIQUE as f64).sqrt() as usize);
+    let mut g = c.benchmark_group("sorting/gather_scatter_host");
+    g.sample_size(10);
+    for order in SortOrder::fig7_set(256) {
+        let mut k = keys0.clone();
+        let mut v = values.clone();
+        sort_pairs(order, &mut k, &mut v);
+        g.bench_with_input(BenchmarkId::from_parameter(order.name()), &(), |b, _| {
+            b.iter(|| black_box(run_serial(black_box(&k), black_box(&v), &table, &stencil)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_backend_paths(c: &mut Criterion) {
+    // pk::sort_by_key picks counting sort for dense ranges and a
+    // comparison argsort for sparse ones — compare the two paths
+    let n = 1 << 16;
+    let dense: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 1024).collect();
+    let sparse: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let vals: Vec<u32> = (0..n as u32).collect();
+    let mut g = c.benchmark_group("sorting/backends");
+    g.sample_size(10);
+    for (name, keys) in [("counting(dense)", &dense), ("comparison(sparse)", &sparse)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter_batched(
+                || (keys.clone(), vals.clone()),
+                |(mut k, mut v)| {
+                    pk::sort::sort_by_key(&mut k, &mut v);
+                    (k, v)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort_algorithms,
+    bench_gather_scatter_by_order,
+    bench_sort_backend_paths
+);
+criterion_main!(benches);

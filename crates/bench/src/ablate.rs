@@ -1,0 +1,141 @@
+//! Ablation targets: the what-ifs DESIGN.md commits to.
+//!
+//! * `ablate-gpu-aware` — Sierra with GPU-aware MPI forced on (the
+//!   paper's named future-work item, quantified);
+//! * `ablate-weak` — weak scaling on all three systems (the paper's §6
+//!   "large batches of smaller simulations" scenario);
+//! * `ablate-tile` — tiled-strided push cost vs tile size on the A100,
+//!   showing the cache-fit optimum the paper's tile rule targets.
+
+use cluster::ablation::{gpu_aware_mpi, weak_scaling, GpuAwareAblation, WeakPoint};
+use cluster::scaling::paper_global_grid;
+use cluster::systems;
+use memsim::gpu::GpuModel;
+use memsim::push::{gpu_push, PushSpec};
+use psort::patterns::random_cells;
+use psort::{sort_pairs, SortOrder};
+use serde::Serialize;
+
+/// Run and print the GPU-aware-MPI ablation on Sierra.
+pub fn run_gpu_aware() -> GpuAwareAblation {
+    let sys = systems::sierra();
+    let ab = gpu_aware_mpi(&sys, paper_global_grid(&sys), 24);
+    println!("Ablation — Sierra with GPU-aware MPI (the paper's future-work claim)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "GPUs", "staged step", "aware step", "gain"
+    );
+    for (b, a) in ab.baseline.iter().zip(&ab.gpu_aware) {
+        println!(
+            "{:>6} {:>12} {:>12} {:>7.2}x",
+            b.gpus,
+            crate::fmt_time(b.step_time),
+            crate::fmt_time(a.step_time),
+            b.step_time / a.step_time
+        );
+    }
+    println!("endpoint gain: {:.2}x", ab.endpoint_gain());
+    ab
+}
+
+/// Run and print weak scaling on all three systems.
+pub fn run_weak() -> Vec<(String, Vec<WeakPoint>)> {
+    println!("Ablation — weak scaling (fixed per-GPU problem)");
+    let mut out = Vec::new();
+    for sys in systems::all() {
+        let pts = weak_scaling(&sys, 24_000, 16);
+        println!("\n{}:", sys.name);
+        println!("{:>6} {:>12} {:>10}", "GPUs", "step", "efficiency");
+        for p in &pts {
+            println!(
+                "{:>6} {:>12} {:>9.2}",
+                p.gpus,
+                crate::fmt_time(p.step_time),
+                p.efficiency
+            );
+        }
+        out.push((sys.name.to_string(), pts));
+    }
+    out
+}
+
+/// One tile-size ablation point.
+#[derive(Debug, Clone, Serialize)]
+pub struct TilePoint {
+    /// Distinct cells per tile.
+    pub tile: usize,
+    /// Tile working set / (scaled) LLC capacity.
+    pub cache_fraction: f64,
+    /// Modelled push time on the A100, seconds.
+    pub time: f64,
+}
+
+/// Sweep tiled-strided tile sizes through the A100 push model: too-small
+/// tiles forfeit streaming efficiency, too-large tiles overflow the
+/// cache; the optimum sits below 1× capacity — what the paper's
+/// 3×cores rule lands near.
+pub fn run_tile() -> Vec<TilePoint> {
+    const GRID: usize = 1 << 15;
+    const PARTICLES: usize = 150_000;
+    const SCALE: f64 = 100.0;
+    let platform = memsim::platform::by_name("A100").unwrap();
+    let base = random_cells(PARTICLES, GRID, 0xAB1A7E);
+    let scaled_llc = platform.llc_bytes as f64 / SCALE;
+    println!("Ablation — tiled-strided tile size on the A100 push model");
+    println!("{:>8} {:>12} {:>12}", "tile", "tile/LLC", "push time");
+    let mut out = Vec::new();
+    for tile in [16usize, 64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let mut cells = base.clone();
+        let mut idx: Vec<u32> = (0..PARTICLES as u32).collect();
+        sort_pairs(SortOrder::TiledStrided { tile }, &mut cells, &mut idx);
+        let model = GpuModel::scaled(platform.clone(), SCALE);
+        let cost = gpu_push(&model, &PushSpec::vpic(&cells, GRID));
+        let cache_fraction =
+            tile as f64 * memsim::push::CELL_FOOTPRINT_BYTES as f64 / scaled_llc;
+        println!(
+            "{:>8} {:>12.2} {:>12}",
+            tile,
+            cache_fraction,
+            crate::fmt_time(cost.cost.time)
+        );
+        out.push(TilePoint { tile, cache_fraction, time: cost.cost.time });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_sweep_has_an_interior_optimum() {
+        if crate::skip_heavy_in_debug() {
+            return;
+        }
+        let pts = run_tile();
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.time.total_cmp(&b.time))
+            .unwrap();
+        // the best tile keeps its working set within the cache
+        assert!(
+            best.cache_fraction < 1.5,
+            "optimal tile should be cache-resident-ish: {:.2}",
+            best.cache_fraction
+        );
+        // and hugely oversized tiles (cache-overflowing) are worse
+        let worst_large = pts.last().unwrap();
+        if worst_large.cache_fraction > 2.0 {
+            assert!(worst_large.time > best.time);
+        }
+    }
+
+    #[test]
+    fn gpu_aware_ablation_prints_positive_gain() {
+        if crate::skip_heavy_in_debug() {
+            return;
+        }
+        let ab = run_gpu_aware();
+        assert!(ab.endpoint_gain() >= 1.0);
+    }
+}

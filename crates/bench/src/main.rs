@@ -1,0 +1,91 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <target> [targets...]
+//!   fig1   VPIC 1.2 SIMD code breakdown
+//!   table1 platform table + STREAM Triad validation
+//!   fig3   RAJAPerf vectorization strategies (CPUs)
+//!   fig4   particle-push vectorization strategies (CPUs)
+//!   fig5   CPU gather-scatter bandwidth by sorting
+//!   fig6   GPU gather-scatter bandwidth by sorting
+//!   fig7   push kernel vs sorting order (GPUs)
+//!   fig8   push-kernel rooflines (H100/MI250/MI300A)
+//!   fig9   pushes/ns vs grid size (cache cliff)
+//!   fig10  strong scaling (Sierra/Selene/Tuolumne)
+//!   all    everything above
+//!
+//!   ablate-tile       tiled-strided tile-size sweep (A100)
+//!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
+//!   ablate-weak       weak scaling on all three systems
+//! ```
+//!
+//! JSON copies of every result land in `results/` (override with
+//! `REPRO_RESULTS_DIR`).
+
+use std::process::ExitCode;
+
+const TARGETS: [&str; 10] = [
+    "fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+];
+
+fn run_target(name: &str) -> bool {
+    let started = std::time::Instant::now();
+    let saved = match name {
+        "fig1" => bench::save_json("fig1", &bench::fig1::run()),
+        "table1" => bench::save_json("table1", &bench::table1::run()),
+        "fig3" => bench::save_json("fig3", &bench::fig3::run()),
+        "fig4" => bench::save_json("fig4", &bench::fig4::run()),
+        "fig5" => bench::save_json("fig5", &bench::fig5::run_cpu()),
+        "fig6" => bench::save_json("fig6", &bench::fig5::run_gpu()),
+        "fig7" => bench::save_json("fig7", &bench::fig7::run()),
+        "fig8" => bench::save_json("fig8", &bench::fig8::run()),
+        "fig9" => bench::save_json("fig9", &bench::fig9::run()),
+        "fig10" => bench::save_json("fig10", &bench::fig10::run()),
+        "ablate-tile" => bench::save_json("ablate-tile", &bench::ablate::run_tile()),
+        "ablate-gpu-aware" => {
+            bench::save_json("ablate-gpu-aware", &bench::ablate::run_gpu_aware())
+        }
+        "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
+        other => {
+            eprintln!("unknown target: {other}");
+            return false;
+        }
+    };
+    match saved {
+        Ok(path) => {
+            println!(
+                "\n[{name}] done in {:.1}s → {}\n",
+                started.elapsed().as_secs_f64(),
+                path.display()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("[{name}] failed to save results: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("usage: repro <target>...   targets: {} all", TARGETS.join(" "));
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for arg in &args {
+        if arg == "all" {
+            for t in TARGETS {
+                ok &= run_target(t);
+            }
+        } else {
+            ok &= run_target(arg);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1 — the platform table with modelled STREAM Triad bandwidth.
+//!
+//! Prints the paper's columns (core count, memory, LLC, bandwidth) from
+//! the platform registry and validates the performance model by running
+//! STREAM Triad through the same engines used for every other figure:
+//! the achieved bandwidth must land on the Table 1 number.
+
+use memsim::platform;
+use memsim::stream::triad;
+use serde::Serialize;
+
+/// One row of the printed table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Platform name.
+    pub platform: String,
+    /// Core count (Table 1).
+    pub cores: usize,
+    /// Memory capacity + kind.
+    pub memory: String,
+    /// Last-level cache, MB.
+    pub llc_mb: f64,
+    /// Table 1 spec bandwidth, GB/s.
+    pub spec_bw_gbps: f64,
+    /// Modelled STREAM Triad bandwidth, GB/s.
+    pub triad_bw_gbps: f64,
+    /// Model / spec.
+    pub efficiency: f64,
+}
+
+/// Produce and print Table 1.
+pub fn run() -> Vec<Table1Row> {
+    println!("Table 1 — platforms (spec vs modelled STREAM Triad)");
+    println!(
+        "{:<14} {:>6} {:>12} {:>8} {:>10} {:>10} {:>6}",
+        "platform", "cores", "memory", "LLC", "spec BW", "triad BW", "eff"
+    );
+    let mut rows = Vec::new();
+    for p in platform::all() {
+        let t = triad(&p, 1 << 19);
+        let row = Table1Row {
+            platform: p.name.to_string(),
+            cores: p.cores,
+            memory: format!("{} GB {}", p.mem_bytes >> 30, p.mem_kind),
+            llc_mb: p.llc_bytes as f64 / (1024.0 * 1024.0),
+            spec_bw_gbps: p.dram_bw / 1e9,
+            triad_bw_gbps: t.bandwidth / 1e9,
+            efficiency: t.efficiency,
+        };
+        println!(
+            "{:<14} {:>6} {:>12} {:>6.0}MB {:>8.1}G {:>8.1}G {:>6.2}",
+            row.platform,
+            row.cores,
+            row.memory,
+            row.llc_mb,
+            row.spec_bw_gbps,
+            row.triad_bw_gbps,
+            row.efficiency
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_all_validated() {
+        if crate::skip_heavy_in_debug() {
+            return;
+        }
+        let rows = run();
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(
+                r.efficiency > 0.5 && r.efficiency < 1.4,
+                "{}: triad off spec ({:.2})",
+                r.platform,
+                r.efficiency
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal wall-clock timing for the repro harness.
+//!
+//! Criterion benches (in `benches/`) provide statistically careful
+//! numbers; the harness needs only quick, stable medians to print
+//! figure-shaped output, so this module does warmup + median-of-reps.
+
+use std::time::Instant;
+
+/// Median wall time of `reps` invocations of `f`, after `warmup` unmeasured
+/// invocations. Returns seconds.
+pub fn median_time(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Keep a value alive and opaque to the optimizer (stable-Rust black box).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive_and_ordered() {
+        // runtime-dependent bounds so the optimizer cannot fold the work
+        let small = black_box(100u64);
+        let large = black_box(3_000_000u64);
+        let fast = median_time(1, 5, || {
+            black_box((0..small).fold(0u64, |a, i| a ^ i.wrapping_mul(31)));
+        });
+        let slow = median_time(1, 5, || {
+            black_box((0..large).fold(0u64, |a, i| a ^ i.wrapping_mul(31)));
+        });
+        assert!(fast >= 0.0);
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn zero_reps_clamped() {
+        let t = median_time(0, 0, || {});
+        assert!(t >= 0.0);
+    }
+}

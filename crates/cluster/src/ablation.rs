@@ -1,0 +1,151 @@
+//! Scaling ablations: the paper's named what-ifs, made runnable.
+//!
+//! * **GPU-aware MPI on Sierra** — the paper attributes the V100
+//!   roll-off to communication and says "additional features like
+//!   GPU-aware MPI will reduce the communication overhead … and enable
+//!   greater superlinear scaling in the future". Flipping the staging
+//!   bit on the Sierra model quantifies exactly that claim.
+//! * **Weak scaling** — the paper's §6 motivates "large batches of
+//!   smaller simulations"; the weak-scaling generator keeps per-GPU work
+//!   fixed and grows the problem with the machine.
+
+use crate::decompose::Decomposition;
+use crate::scaling::{strong_scaling, ScalePoint};
+use crate::systems::System;
+use serde::Serialize;
+
+/// A strong-scaling curve with and without GPU-aware MPI.
+#[derive(Debug, Clone, Serialize)]
+pub struct GpuAwareAblation {
+    /// System name.
+    pub system: String,
+    /// Points with the system's real network.
+    pub baseline: Vec<ScalePoint>,
+    /// Points with `gpu_aware` forced on.
+    pub gpu_aware: Vec<ScalePoint>,
+}
+
+impl GpuAwareAblation {
+    /// Speedup of the last sweep point, baseline vs GPU-aware.
+    pub fn endpoint_gain(&self) -> f64 {
+        let b = self.baseline.last().expect("nonempty sweep");
+        let a = self.gpu_aware.last().expect("nonempty sweep");
+        b.step_time / a.step_time
+    }
+}
+
+/// Run the GPU-aware-MPI ablation on `system`.
+pub fn gpu_aware_mpi(system: &System, grid: (usize, usize, usize), ppc: usize) -> GpuAwareAblation {
+    let baseline = strong_scaling(system, grid, ppc);
+    let mut aware = system.clone();
+    aware.network.gpu_aware = true;
+    let gpu_aware = strong_scaling(&aware, grid, ppc);
+    GpuAwareAblation {
+        system: system.name.to_string(),
+        baseline,
+        gpu_aware,
+    }
+}
+
+/// One point of a weak-scaling curve: per-GPU problem held fixed.
+#[derive(Debug, Clone, Serialize)]
+pub struct WeakPoint {
+    /// GPU count.
+    pub gpus: usize,
+    /// Step time, seconds.
+    pub step_time: f64,
+    /// Efficiency relative to the single-GPU step time
+    /// (1.0 = perfect weak scaling).
+    pub efficiency: f64,
+}
+
+/// Weak scaling: each GPU keeps `cells_per_gpu` cells and
+/// `cells_per_gpu × ppc` particles; the global problem grows with the
+/// sweep. Communication per rank is constant in this regime, so
+/// efficiency should stay near 1 with a mild α-term decline.
+pub fn weak_scaling(system: &System, cells_per_gpu: usize, ppc: usize) -> Vec<WeakPoint> {
+    let side = (cells_per_gpu as f64).cbrt().round() as usize;
+    let mut out = Vec::new();
+    let mut base_time = None;
+    for &gpus in &system.sweep {
+        // grow the global grid so each rank keeps ~cells_per_gpu: the
+        // processor grid's factorization sets the global shape
+        let dims = Decomposition::new((1, 1, 1), gpus).dims;
+        let global = (side * dims.0, side * dims.1, side * dims.2);
+        let pts = strong_scaling_single_point(system, global, ppc, gpus);
+        let t = pts.step_time;
+        let base = *base_time.get_or_insert(t);
+        out.push(WeakPoint { gpus, step_time: t, efficiency: base / t });
+    }
+    out
+}
+
+/// Evaluate one GPU count of a strong-scaling configuration (helper for
+/// weak scaling, which changes the global grid per point).
+fn strong_scaling_single_point(
+    system: &System,
+    global: (usize, usize, usize),
+    ppc: usize,
+    gpus: usize,
+) -> ScalePoint {
+    let mut sys = system.clone();
+    sys.sweep = vec![gpus]; // restrict the sweep to the one point we need
+    strong_scaling(&sys, global, ppc).pop().expect("one point")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::paper_global_grid;
+    use crate::systems;
+
+    #[test]
+    fn gpu_aware_mpi_rescues_sierra_scaling() {
+        let sys = systems::sierra();
+        let ab = gpu_aware_mpi(&sys, paper_global_grid(&sys), 24);
+        // the paper's claim: GPU-aware MPI reduces communication overhead
+        // and extends superlinear scaling
+        assert!(
+            ab.endpoint_gain() > 1.1,
+            "GPU-aware MPI must speed up the comm-limited endpoint: {:.2}x",
+            ab.endpoint_gain()
+        );
+        let b32 = ab.baseline.last().unwrap();
+        let a32 = ab.gpu_aware.last().unwrap();
+        assert!(a32.comm_time < b32.comm_time);
+        assert_eq!(a32.push_time, b32.push_time, "compute unchanged");
+    }
+
+    #[test]
+    fn gpu_aware_is_noop_on_already_aware_systems() {
+        let sys = systems::selene();
+        let ab = gpu_aware_mpi(&sys, paper_global_grid(&sys), 16);
+        let gain = ab.endpoint_gain();
+        assert!((0.99..1.01).contains(&gain), "{gain}");
+    }
+
+    #[test]
+    fn weak_scaling_is_near_flat() {
+        let sys = systems::selene();
+        let pts = weak_scaling(&sys, 24_000, 16);
+        assert_eq!(pts.len(), sys.sweep.len());
+        assert_eq!(pts[0].efficiency, 1.0);
+        for p in &pts {
+            assert!(
+                p.efficiency > 0.6,
+                "weak scaling should hold: {:.2} at {} GPUs",
+                p.efficiency,
+                p.gpus
+            );
+        }
+    }
+
+    #[test]
+    fn weak_scaling_grows_the_problem_not_the_time() {
+        let sys = systems::tuolumne();
+        let pts = weak_scaling(&sys, 16_000, 8);
+        let t0 = pts.first().unwrap().step_time;
+        let tn = pts.last().unwrap().step_time;
+        assert!(tn < 3.0 * t0, "step time must stay bounded: {t0} → {tn}");
+    }
+}

@@ -1,0 +1,254 @@
+//! 3-D Cartesian domain decomposition.
+//!
+//! The same arithmetic an MPI-parallel VPIC performs: factor the rank
+//! count into a near-cubic processor grid, give each rank a contiguous
+//! block of cells, and know your six face neighbors. Surface cell counts
+//! drive the halo-exchange traffic model.
+
+use serde::Serialize;
+
+/// A 3-D block decomposition of a global grid over `ranks()` ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Decomposition {
+    /// Processor grid dimensions `(px, py, pz)`.
+    pub dims: (usize, usize, usize),
+    /// Global grid extent `(nx, ny, nz)` in cells.
+    pub global: (usize, usize, usize),
+}
+
+impl Decomposition {
+    /// Decompose `global` over `ranks` ranks with a near-cubic processor
+    /// grid that minimizes total surface area.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero or any global extent is zero.
+    pub fn new(global: (usize, usize, usize), ranks: usize) -> Self {
+        assert!(ranks >= 1, "need at least one rank");
+        assert!(global.0 >= 1 && global.1 >= 1 && global.2 >= 1);
+        let dims = best_dims(ranks);
+        Self { dims, global }
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+
+    /// Rank coordinates of rank `r` (x-fastest).
+    pub fn coords(&self, r: usize) -> (usize, usize, usize) {
+        debug_assert!(r < self.ranks());
+        let (px, py, _) = self.dims;
+        (r % px, (r / px) % py, r / (px * py))
+    }
+
+    /// Rank id from coordinates.
+    pub fn rank_of(&self, c: (usize, usize, usize)) -> usize {
+        let (px, py, _) = self.dims;
+        c.0 + px * (c.1 + py * c.2)
+    }
+
+    /// Local cell extent of rank `r` (block distribution; remainders go
+    /// to the lower-coordinate ranks).
+    pub fn local_extent(&self, r: usize) -> (usize, usize, usize) {
+        let (cx, cy, cz) = self.coords(r);
+        (
+            block_len(self.global.0, self.dims.0, cx),
+            block_len(self.global.1, self.dims.1, cy),
+            block_len(self.global.2, self.dims.2, cz),
+        )
+    }
+
+    /// Starting global cell coordinate of rank `r`'s block.
+    pub fn local_origin(&self, r: usize) -> (usize, usize, usize) {
+        let (cx, cy, cz) = self.coords(r);
+        (
+            block_start(self.global.0, self.dims.0, cx),
+            block_start(self.global.1, self.dims.1, cy),
+            block_start(self.global.2, self.dims.2, cz),
+        )
+    }
+
+    /// Owning rank of global cell `(ix, iy, iz)`.
+    pub fn owner(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        self.rank_of((
+            block_index(self.global.0, self.dims.0, ix),
+            block_index(self.global.1, self.dims.1, iy),
+            block_index(self.global.2, self.dims.2, iz),
+        ))
+    }
+
+    /// Local cell count of rank `r`.
+    pub fn local_cells(&self, r: usize) -> usize {
+        let (x, y, z) = self.local_extent(r);
+        x * y * z
+    }
+
+    /// Surface cell count of rank `r` (cells with a face on the block
+    /// boundary, counted per face: the halo-exchange volume).
+    pub fn surface_cells(&self, r: usize) -> usize {
+        let (x, y, z) = self.local_extent(r);
+        2 * (x * y + y * z + x * z)
+    }
+
+    /// The six periodic face-neighbor ranks of `r`
+    /// (−x, +x, −y, +y, −z, +z). With one rank along an axis, both
+    /// neighbors are `r` itself.
+    pub fn face_neighbors(&self, r: usize) -> [usize; 6] {
+        let (cx, cy, cz) = self.coords(r);
+        let (px, py, pz) = self.dims;
+        let wrap = |c: usize, d: isize, n: usize| -> usize {
+            (((c as isize + d) % n as isize + n as isize) % n as isize) as usize
+        };
+        [
+            self.rank_of((wrap(cx, -1, px), cy, cz)),
+            self.rank_of((wrap(cx, 1, px), cy, cz)),
+            self.rank_of((cx, wrap(cy, -1, py), cz)),
+            self.rank_of((cx, wrap(cy, 1, py), cz)),
+            self.rank_of((cx, cy, wrap(cz, -1, pz))),
+            self.rank_of((cx, cy, wrap(cz, 1, pz))),
+        ]
+    }
+}
+
+/// Near-cubic factorization of `n` minimizing surface-to-volume.
+fn best_dims(n: usize) -> (usize, usize, usize) {
+    let mut best = (n, 1, 1);
+    let mut best_score = usize::MAX;
+    for a in 1..=n {
+        if !n.is_multiple_of(a) {
+            continue;
+        }
+        let rem = n / a;
+        for b in 1..=rem {
+            if !rem.is_multiple_of(b) {
+                continue;
+            }
+            let c = rem / b;
+            // surface proxy: sum of pairwise products maximized when
+            // cubic... we minimize max/min spread
+            let dims = [a, b, c];
+            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            if score < best_score {
+                best_score = score;
+                best = (a, b, c);
+            }
+        }
+    }
+    best
+}
+
+fn block_len(n: usize, parts: usize, idx: usize) -> usize {
+    let base = n / parts;
+    base + usize::from(idx < n % parts)
+}
+
+fn block_start(n: usize, parts: usize, idx: usize) -> usize {
+    let base = n / parts;
+    let rem = n % parts;
+    idx * base + idx.min(rem)
+}
+
+fn block_index(n: usize, parts: usize, coord: usize) -> usize {
+    debug_assert!(coord < n);
+    // inverse of block_start/block_len; parts ≥ 1 so base and rem cannot
+    // both be zero when coord < n
+    let base = n / parts;
+    let rem = n % parts;
+    let big = (base + 1) * rem; // cells covered by the larger blocks
+    if coord < big {
+        coord / (base + 1)
+    } else {
+        // base == 0 implies big == n > coord, so this branch has base ≥ 1
+        rem + (coord - big).checked_div(base).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_dims_are_balanced() {
+        assert_eq!(best_dims(1), (1, 1, 1));
+        assert_eq!(best_dims(8), (2, 2, 2));
+        assert_eq!(best_dims(64), (4, 4, 4));
+        let (a, b, c) = best_dims(512);
+        assert_eq!(a * b * c, 512);
+        assert_eq!((a, b, c), (8, 8, 8));
+        let (a, b, c) = best_dims(12);
+        assert_eq!(a * b * c, 12);
+        assert!(a.max(b).max(c) <= 4);
+    }
+
+    #[test]
+    fn blocks_cover_domain_exactly() {
+        let d = Decomposition::new((37, 23, 11), 12);
+        let mut owned = vec![0u32; 37 * 23 * 11];
+        for r in 0..d.ranks() {
+            let (ox, oy, oz) = d.local_origin(r);
+            let (lx, ly, lz) = d.local_extent(r);
+            for z in oz..oz + lz {
+                for y in oy..oy + ly {
+                    for x in ox..ox + lx {
+                        owned[x + 37 * (y + 23 * z)] += 1;
+                        assert_eq!(d.owner(x, y, z), r, "owner mismatch at ({x},{y},{z})");
+                    }
+                }
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1), "every cell owned exactly once");
+    }
+
+    #[test]
+    fn local_cells_sum_to_global() {
+        for ranks in [1, 2, 7, 8, 64, 100] {
+            let d = Decomposition::new((50, 40, 30), ranks);
+            let total: usize = (0..d.ranks()).map(|r| d.local_cells(r)).sum();
+            assert_eq!(total, 50 * 40 * 30, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn face_neighbors_are_symmetric() {
+        let d = Decomposition::new((32, 32, 32), 8);
+        for r in 0..8 {
+            let n = d.face_neighbors(r);
+            // -x neighbor's +x neighbor is r
+            assert_eq!(d.face_neighbors(n[0])[1], r);
+            assert_eq!(d.face_neighbors(n[2])[3], r);
+            assert_eq!(d.face_neighbors(n[4])[5], r);
+        }
+    }
+
+    #[test]
+    fn single_rank_is_its_own_neighbor() {
+        let d = Decomposition::new((8, 8, 8), 1);
+        assert_eq!(d.face_neighbors(0), [0; 6]);
+        assert_eq!(d.local_cells(0), 512);
+    }
+
+    #[test]
+    fn surface_shrinks_slower_than_volume() {
+        // strong scaling: volume per rank ∝ 1/n, surface ∝ 1/n^(2/3)
+        let g = (128, 128, 128);
+        let v1 = Decomposition::new(g, 1);
+        let v64 = Decomposition::new(g, 64);
+        let vol_ratio = v1.local_cells(0) as f64 / v64.local_cells(0) as f64;
+        let surf_ratio = v1.surface_cells(0) as f64 / v64.surface_cells(0) as f64;
+        assert!((vol_ratio - 64.0).abs() < 1.0);
+        assert!((surf_ratio - 16.0).abs() < 1.0, "surface scales as n^(2/3): {surf_ratio}");
+    }
+
+    #[test]
+    fn block_index_inverts_block_start() {
+        for (n, parts) in [(10, 3), (37, 5), (8, 8), (100, 7)] {
+            for idx in 0..parts {
+                let start = block_start(n, parts, idx);
+                let len = block_len(n, parts, idx);
+                for c in start..start + len {
+                    assert_eq!(block_index(n, parts, c), idx, "n={n} parts={parts} c={c}");
+                }
+            }
+        }
+    }
+}

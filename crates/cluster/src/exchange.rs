@@ -1,0 +1,175 @@
+//! Rank emulation over a single-domain simulation.
+//!
+//! Runs the *real* `vpic-core` simulation while book-keeping a virtual
+//! decomposition on top of it: every step it tracks which particles
+//! changed owning rank and to where. Physics is bit-identical to the
+//! plain single-domain run (there is no halo truncation to get wrong),
+//! while the migration counts — the quantity the strong-scaling network
+//! model needs — are *measured* from the actual particle motion instead
+//! of assumed.
+
+use crate::decompose::Decomposition;
+use serde::Serialize;
+use vpic_core::push::PushStats;
+use vpic_core::Simulation;
+
+/// Per-step migration bookkeeping.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MigrationStats {
+    /// Particles that changed owning rank this step.
+    pub migrants: usize,
+    /// Total particles (for fraction computations).
+    pub total: usize,
+    /// Largest number of migrants leaving any single rank.
+    pub max_out_of_rank: usize,
+}
+
+impl MigrationStats {
+    /// Fraction of particles that migrated.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.migrants as f64 / self.total as f64
+        }
+    }
+}
+
+/// A single-domain simulation with a virtual rank decomposition.
+pub struct ClusterSim {
+    /// The underlying (exact) simulation.
+    pub sim: Simulation,
+    /// The virtual decomposition.
+    pub decomp: Decomposition,
+    owner_of_cell: Vec<u32>,
+}
+
+impl ClusterSim {
+    /// Wrap `sim` with a virtual decomposition over `ranks` ranks.
+    pub fn new(sim: Simulation, ranks: usize) -> Self {
+        let g = &sim.grid;
+        let decomp = Decomposition::new((g.nx, g.ny, g.nz), ranks);
+        let owner_of_cell: Vec<u32> = (0..g.cells())
+            .map(|v| {
+                let (ix, iy, iz) = g.coords(v);
+                decomp.owner(ix, iy, iz) as u32
+            })
+            .collect();
+        Self { sim, decomp, owner_of_cell }
+    }
+
+    /// Owning rank of a cell voxel.
+    pub fn owner(&self, cell: u32) -> u32 {
+        self.owner_of_cell[cell as usize]
+    }
+
+    /// Particles currently owned by each rank.
+    pub fn rank_populations(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.decomp.ranks()];
+        for s in &self.sim.species {
+            for &c in &s.cell {
+                counts[self.owner_of_cell[c as usize] as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Advance one step, measuring migration.
+    pub fn step(&mut self) -> (PushStats, MigrationStats) {
+        // snapshot owners before the push
+        let before: Vec<Vec<u32>> = self
+            .sim
+            .species
+            .iter()
+            .map(|s| s.cell.iter().map(|&c| self.owner_of_cell[c as usize]).collect())
+            .collect();
+        let push = self.sim.step();
+        let mut stats = MigrationStats::default();
+        let mut out_of = vec![0usize; self.decomp.ranks()];
+        for (si, s) in self.sim.species.iter().enumerate() {
+            stats.total += s.len();
+            for (p, &c) in s.cell.iter().enumerate() {
+                let now = self.owner_of_cell[c as usize];
+                let was = before[si][p];
+                if now != was {
+                    stats.migrants += 1;
+                    out_of[was as usize] += 1;
+                }
+            }
+        }
+        stats.max_out_of_rank = out_of.into_iter().max().unwrap_or(0);
+        (push, stats)
+    }
+
+    /// Run `n` steps and return the mean migration fraction.
+    pub fn measure_migration(&mut self, n: usize) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let (_, m) = self.step();
+            acc += m.fraction();
+        }
+        acc / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpic_core::Deck;
+
+    fn sim() -> Simulation {
+        Deck::uniform(8, 8, 8, 8).build()
+    }
+
+    #[test]
+    fn owners_partition_all_cells() {
+        let cs = ClusterSim::new(sim(), 8);
+        let pops = cs.rank_populations();
+        assert_eq!(pops.len(), 8);
+        let total: usize = pops.iter().sum();
+        assert_eq!(total, cs.sim.particle_count());
+        // uniform deck → roughly balanced ranks
+        let (mn, mx) = (pops.iter().min().unwrap(), pops.iter().max().unwrap());
+        assert!(*mx < 2 * *mn, "balance: {pops:?}");
+    }
+
+    #[test]
+    fn physics_identical_to_undecomposed_run() {
+        let mut plain = sim();
+        let mut cs = ClusterSim::new(sim(), 8);
+        for _ in 0..5 {
+            plain.step();
+            cs.step();
+        }
+        assert_eq!(plain.energies().total(), cs.sim.energies().total());
+        assert_eq!(plain.species[1].cell, cs.sim.species[1].cell);
+    }
+
+    #[test]
+    fn migration_is_small_and_boundary_driven() {
+        let mut cs = ClusterSim::new(sim(), 8);
+        let frac = cs.measure_migration(5);
+        // thermal vth=0.05 → well under 10% of particles cross a rank
+        // boundary per step
+        assert!(frac < 0.1, "migration fraction {frac}");
+        assert!(frac > 0.0, "some particles must cross");
+    }
+
+    #[test]
+    fn migration_grows_with_rank_count() {
+        // more ranks → more boundary surface → more migrants
+        let mut few = ClusterSim::new(sim(), 2);
+        let mut many = ClusterSim::new(sim(), 64);
+        let f_few = few.measure_migration(3);
+        let f_many = many.measure_migration(3);
+        assert!(f_many > f_few, "{f_many} vs {f_few}");
+    }
+
+    #[test]
+    fn single_rank_never_migrates() {
+        let mut cs = ClusterSim::new(sim(), 1);
+        let (_, m) = cs.step();
+        assert_eq!(m.migrants, 0);
+        assert_eq!(m.fraction(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cluster — multi-rank scaling: decomposition, exchange, network model
+//!
+//! The paper's strong-scaling study (Fig 10) runs VPIC 2.0 on up to 512
+//! GPUs across Sierra, Selene, and Tuolumne. No cluster exists here, so
+//! this crate provides:
+//!
+//! * [`decompose`] — 3-D Cartesian domain decomposition (rank geometry,
+//!   surface/volume bookkeeping), the real arithmetic any MPI run uses;
+//! * [`exchange`] — a rank-emulation layer over `vpic-core`: particles
+//!   are partitioned by owning subdomain and migration between ranks is
+//!   tracked each step, giving *measured* (not assumed) exchange volumes
+//!   while preserving single-domain physics exactly;
+//! * [`network`] — a latency/bandwidth message-cost model with the
+//!   GPU-aware-vs-staged distinction the paper discusses;
+//! * [`systems`] — Sierra, Selene, and Tuolumne descriptions;
+//! * [`scaling`] — the Fig 10 generator: per-GPU push cost from
+//!   `memsim::push` (which supplies the cache-capacity superlinearity)
+//!   plus the communication model (which supplies the roll-off).
+
+pub mod ablation;
+pub mod decompose;
+pub mod exchange;
+pub mod network;
+pub mod scaling;
+pub mod systems;
+
+pub use decompose::Decomposition;
+pub use network::NetworkModel;
+pub use scaling::{strong_scaling, ScalePoint};
+pub use systems::System;

@@ -1,0 +1,104 @@
+//! Property tests for decomposition and network-model invariants.
+
+use cluster::decompose::Decomposition;
+use cluster::network::NetworkModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every global cell has exactly one owner, and the owner's block
+    /// contains it.
+    #[test]
+    fn ownership_partitions_the_domain(
+        nx in 1usize..20,
+        ny in 1usize..20,
+        nz in 1usize..20,
+        ranks in 1usize..40,
+    ) {
+        let d = Decomposition::new((nx, ny, nz), ranks);
+        prop_assert_eq!(d.ranks(), ranks);
+        let mut per_rank = vec![0usize; ranks];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let r = d.owner(x, y, z);
+                    prop_assert!(r < ranks);
+                    per_rank[r] += 1;
+                    let (ox, oy, oz) = d.local_origin(r);
+                    let (lx, ly, lz) = d.local_extent(r);
+                    prop_assert!((ox..ox + lx).contains(&x));
+                    prop_assert!((oy..oy + ly).contains(&y));
+                    prop_assert!((oz..oz + lz).contains(&z));
+                }
+            }
+        }
+        for (r, &count) in per_rank.iter().enumerate() {
+            prop_assert_eq!(count, d.local_cells(r), "rank {} cell count", r);
+        }
+    }
+
+    /// Local cell counts across ranks differ by at most the largest block
+    /// rounding (near-balance).
+    #[test]
+    fn decomposition_is_balanced(
+        n in 4usize..64,
+        ranks in 1usize..33,
+    ) {
+        let d = Decomposition::new((n, n, n), ranks);
+        // balance is only claimed when every axis has at least one cell
+        // per rank along it (otherwise some ranks are legitimately empty)
+        prop_assume!(d.dims.0 <= n && d.dims.1 <= n && d.dims.2 <= n);
+        let counts: Vec<usize> = (0..d.ranks()).map(|r| d.local_cells(r)).collect();
+        let total: usize = counts.iter().sum();
+        prop_assert_eq!(total, n * n * n);
+        let mx = *counts.iter().max().unwrap();
+        let mn = *counts.iter().min().unwrap();
+        // block distribution: each axis differs by ≤1 cell per rank, so
+        // the volume ratio is bounded by ((base+1)/base)³ ≤ 2³
+        prop_assert!(mx <= 8 * mn.max(1), "{mx} vs {mn}");
+    }
+
+    /// Face-neighbor relations are symmetric under the opposite face.
+    #[test]
+    fn neighbors_symmetric(ranks in 1usize..65) {
+        let d = Decomposition::new((32, 32, 32), ranks);
+        for r in 0..d.ranks() {
+            let n = d.face_neighbors(r);
+            for (dir, rev) in [(0, 1), (2, 3), (4, 5)] {
+                prop_assert_eq!(d.face_neighbors(n[dir])[rev], r);
+            }
+        }
+    }
+
+    /// Message time grows monotonically with payload and is at least α.
+    #[test]
+    fn network_monotone(bytes_a in 0f64..1e9, bytes_b in 0f64..1e9, aware in any::<bool>()) {
+        let net = NetworkModel {
+            latency: 2e-6,
+            bandwidth: 25e9,
+            gpu_aware: aware,
+            staging_bw: 12e9,
+        };
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(net.message_time(lo) <= net.message_time(hi));
+        prop_assert!(net.message_time(lo) >= net.latency);
+        // staging can only slow a message down
+        let staged = NetworkModel { gpu_aware: false, ..net };
+        let direct = NetworkModel { gpu_aware: true, ..net };
+        prop_assert!(staged.message_time(hi) >= direct.message_time(hi));
+    }
+
+    /// Exchange time is superadditive in message count.
+    #[test]
+    fn exchange_superadditive(msgs in 1usize..12, bytes in 1f64..1e7) {
+        let net = NetworkModel {
+            latency: 2e-6,
+            bandwidth: 25e9,
+            gpu_aware: true,
+            staging_bw: 12e9,
+        };
+        let one = net.exchange_time(1, bytes);
+        let many = net.exchange_time(msgs, bytes);
+        prop_assert!(many >= one * 0.99);
+        prop_assert!(many <= one * msgs as f64 * 1.01);
+    }
+}

@@ -1,0 +1,296 @@
+//! Current accumulation: VPIC's 12-slot per-cell accumulator and its
+//! unload into the Yee current arrays.
+//!
+//! Each within-cell trajectory segment deposits Villasenor–Buneman
+//! charge-conserving current weights: 4 slots per component (the four
+//! parallel edges of the cell). This scatter — many particles, atomic
+//! adds, cell-indexed — is the contention site the paper's sorting
+//! algorithms target; its memory footprint is what
+//! `memsim::push::ACCUM_BYTES` models.
+//!
+//! The accumulator stores `charge × fractional displacement × transverse
+//! shape`; [`Accumulator::unload`] converts to current density by the
+//! `1/dt` factor (unit cells) and adds each slot to its Yee edge.
+
+use crate::field::FieldArray;
+use crate::grid::Grid;
+use pk::atomic::{ScatterBuf, ScatterMode};
+
+/// Accumulator slots per cell: 4 edges × 3 components.
+pub const SLOTS: usize = 12;
+
+/// The per-cell current accumulator (atomic, shared across push workers).
+#[derive(Debug)]
+pub struct Accumulator {
+    buf: ScatterBuf,
+    cells: usize,
+}
+
+impl Accumulator {
+    /// A zeroed accumulator for `cells` cells and up to `workers`
+    /// concurrent writers in the given scatter mode.
+    pub fn new(cells: usize, workers: usize, mode: ScatterMode) -> Self {
+        Self { buf: ScatterBuf::new(cells * SLOTS, workers, mode), cells }
+    }
+
+    /// Number of cells covered.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Zero all slots.
+    pub fn reset(&self) {
+        self.buf.reset();
+    }
+
+    /// Deposit one within-cell segment.
+    ///
+    /// Endpoints are cell-relative offsets in `[-1, 1]`; `qw` is the
+    /// particle's `charge × weight`; `worker` identifies the calling
+    /// worker for the duplicated scatter mode.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn deposit_segment(
+        &self,
+        worker: usize,
+        cell: usize,
+        x0: f32,
+        y0: f32,
+        z0: f32,
+        x1: f32,
+        y1: f32,
+        z1: f32,
+        qw: f32,
+    ) {
+        debug_assert!(cell < self.cells);
+        let base = cell * SLOTS;
+        let w = segment_weights(x0, y0, z0, x1, y1, z1, qw);
+        for (s, &val) in w.iter().enumerate() {
+            if val != 0.0 {
+                self.buf.add(worker, base + s, val as f64);
+            }
+        }
+    }
+
+    /// Raw slot value (tests/diagnostics).
+    pub fn slot(&self, cell: usize, slot: usize) -> f64 {
+        self.buf.get(cell * SLOTS + slot)
+    }
+
+    /// Convert accumulated charge-displacements to current density and
+    /// add into the field's J arrays (VPIC's `unload_accumulator_array`).
+    ///
+    /// Cell `v`'s slot `(a, b)` of the x-component belongs to the Yee
+    /// x-edge of voxel `v + a·ŷ + b·ẑ` (periodic), and similarly for the
+    /// cyclic y and z components.
+    pub fn unload(&self, f: &mut FieldArray) {
+        let g = f.grid.clone();
+        assert_eq!(g.cells(), self.cells, "accumulator/grid mismatch");
+        let rdt = 1.0 / g.dt;
+        let vals = self.buf.collect();
+        for v in 0..self.cells {
+            let base = v * SLOTS;
+            for (s, (a, b)) in CORNERS.iter().enumerate() {
+                let jx_edge = g.neighbor(v, (0, *a, *b));
+                let jy_edge = g.neighbor(v, (*b, 0, *a));
+                let jz_edge = g.neighbor(v, (*a, *b, 0));
+                f.jx[jx_edge] += (vals[base + s] * rdt as f64) as f32;
+                f.jy[jy_edge] += (vals[base + 4 + s] * rdt as f64) as f32;
+                f.jz[jz_edge] += (vals[base + 8 + s] * rdt as f64) as f32;
+            }
+        }
+    }
+}
+
+/// Transverse corner order shared by deposit and unload:
+/// `(0,0), (1,0), (0,1), (1,1)` in the component's cyclic transverse dims.
+const CORNERS: [(isize, isize); 4] = [(0, 0), (1, 0), (0, 1), (1, 1)];
+
+/// Villasenor–Buneman weights for one within-cell segment: 12 values,
+/// `[jx×4, jy×4, jz×4]`, in units of charge × fractional displacement.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn segment_weights(
+    x0: f32,
+    y0: f32,
+    z0: f32,
+    x1: f32,
+    y1: f32,
+    z1: f32,
+    qw: f32,
+) -> [f32; SLOTS] {
+    // convert offsets [-1,1] to cell coordinates [0,1]
+    let (xi0, xi1) = ((x0 + 1.0) * 0.5, (x1 + 1.0) * 0.5);
+    let (et0, et1) = ((y0 + 1.0) * 0.5, (y1 + 1.0) * 0.5);
+    let (ze0, ze1) = ((z0 + 1.0) * 0.5, (z1 + 1.0) * 0.5);
+    let (dxi, det, dze) = (xi1 - xi0, et1 - et0, ze1 - ze0);
+    let (mxi, met, mze) = (
+        0.5 * (xi0 + xi1),
+        0.5 * (et0 + et1),
+        0.5 * (ze0 + ze1),
+    );
+    let mut w = [0.0f32; SLOTS];
+    // x component: transverse (η, ζ)
+    let corr = dxi * det * dze / 12.0;
+    w[0] = qw * (dxi * (1.0 - met) * (1.0 - mze) + corr);
+    w[1] = qw * (dxi * met * (1.0 - mze) - corr);
+    w[2] = qw * (dxi * (1.0 - met) * mze - corr);
+    w[3] = qw * (dxi * met * mze + corr);
+    // y component: transverse (ζ, ξ) — cyclic
+    let corr = det * dze * dxi / 12.0;
+    w[4] = qw * (det * (1.0 - mze) * (1.0 - mxi) + corr);
+    w[5] = qw * (det * mze * (1.0 - mxi) - corr);
+    w[6] = qw * (det * (1.0 - mze) * mxi - corr);
+    w[7] = qw * (det * mze * mxi + corr);
+    // z component: transverse (ξ, η)
+    let corr = dze * dxi * det / 12.0;
+    w[8] = qw * (dze * (1.0 - mxi) * (1.0 - met) + corr);
+    w[9] = qw * (dze * mxi * (1.0 - met) - corr);
+    w[10] = qw * (dze * (1.0 - mxi) * met - corr);
+    w[11] = qw * (dze * mxi * met + corr);
+    w
+}
+
+/// CIC (trilinear) node deposition of a charge at cell-relative offsets —
+/// the charge density that pairs with the VB current for continuity
+/// checks. Adds `qw × weight` to the 8 surrounding node slots of `rho`
+/// (nodes indexed by their voxel).
+pub fn deposit_rho_node(grid: &Grid, rho: &mut [f64], cell: usize, x: f32, y: f32, z: f32, qw: f32) {
+    let (xi, et, ze) = ((x + 1.0) * 0.5, (y + 1.0) * 0.5, (z + 1.0) * 0.5);
+    for (a, b, c) in [
+        (0, 0, 0),
+        (1, 0, 0),
+        (0, 1, 0),
+        (1, 1, 0),
+        (0, 0, 1),
+        (1, 0, 1),
+        (0, 1, 1),
+        (1, 1, 1),
+    ] {
+        let wx = if a == 1 { xi } else { 1.0 - xi };
+        let wy = if b == 1 { et } else { 1.0 - et };
+        let wz = if c == 1 { ze } else { 1.0 - ze };
+        let node = grid.neighbor(cell, (a, b, c));
+        rho[node] += (qw * wx * wy * wz) as f64;
+    }
+}
+
+/// Discrete node divergence of J (edges → node), for continuity checks:
+/// `divJ(node v) = Σ (j(v) − j(v − ê)) / d`.
+pub fn div_j_node(f: &FieldArray, v: usize) -> f64 {
+    let g = &f.grid;
+    let xm = g.neighbor(v, (-1, 0, 0));
+    let ym = g.neighbor(v, (0, -1, 0));
+    let zm = g.neighbor(v, (0, 0, -1));
+    ((f.jx[v] - f.jx[xm]) / g.dx + (f.jy[v] - f.jy[ym]) / g.dy + (f.jz[v] - f.jz[zm]) / g.dz)
+        as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_particle_deposits_nothing() {
+        let w = segment_weights(0.3, -0.2, 0.7, 0.3, -0.2, 0.7, 5.0);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pure_x_motion_deposits_only_jx_with_cic_shape() {
+        // move along x at transverse center: all four jx edges equal
+        let w = segment_weights(-0.5, 0.0, 0.0, 0.5, 0.0, 0.0, 1.0);
+        let dxi = 0.5; // half a cell
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..4 {
+            assert!((w[s] - dxi * 0.25).abs() < 1e-6, "slot {s}: {}", w[s]);
+        }
+        assert!(w[4..].iter().all(|&x| x == 0.0));
+        // total jx equals charge × displacement
+        let total: f32 = w[..4].iter().sum();
+        assert!((total - dxi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn off_center_motion_weights_nearest_edges_more() {
+        // particle near (y−, z−) corner moving in x
+        let w = segment_weights(-0.5, -0.8, -0.8, 0.5, -0.8, -0.8, 1.0);
+        assert!(w[0] > w[1] && w[0] > w[2] && w[0] > w[3]);
+        let total: f32 = w[..4].iter().sum();
+        assert!((total - 0.5).abs() < 1e-6, "shape weights sum to 1");
+    }
+
+    #[test]
+    fn weights_are_charge_linear() {
+        let a = segment_weights(-0.2, 0.1, -0.4, 0.3, 0.2, 0.1, 1.0);
+        let b = segment_weights(-0.2, 0.1, -0.4, 0.3, 0.2, 0.1, -2.5);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y - (-2.5) * x).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn continuity_holds_for_within_cell_moves() {
+        // Δρ + dt·divJ = 0 at every node, exactly (the VB property)
+        let g = Grid::new(4, 4, 4);
+        let cell = g.voxel(1, 2, 1);
+        let qw = 1.7f32;
+        let (x0, y0, z0) = (-0.4f32, 0.3, -0.1);
+        let (x1, y1, z1) = (0.6f32, -0.5, 0.5);
+        let mut rho0 = vec![0.0f64; g.cells()];
+        let mut rho1 = vec![0.0f64; g.cells()];
+        deposit_rho_node(&g, &mut rho0, cell, x0, y0, z0, qw);
+        deposit_rho_node(&g, &mut rho1, cell, x1, y1, z1, qw);
+        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        acc.deposit_segment(0, cell, x0, y0, z0, x1, y1, z1, qw);
+        let mut f = FieldArray::new(g.clone());
+        acc.unload(&mut f);
+        for v in 0..g.cells() {
+            let drho_dt = (rho1[v] - rho0[v]) / g.dt as f64;
+            let div = div_j_node(&f, v);
+            assert!(
+                (drho_dt + div).abs() < 1e-5,
+                "continuity violated at node {v}: dρ/dt={drho_dt}, divJ={div}"
+            );
+        }
+    }
+
+    #[test]
+    fn unload_routes_slots_to_correct_edges() {
+        let g = Grid::new(3, 3, 3);
+        let cell = g.voxel(1, 1, 1);
+        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        // x-motion at the (y+, z+) corner → only slot 3 → edge (i+½, j+1, k+1)
+        acc.deposit_segment(0, cell, -0.5, 1.0, 1.0, 0.5, 1.0, 1.0, 1.0);
+        let mut f = FieldArray::new(g.clone());
+        acc.unload(&mut f);
+        let expected_edge = g.neighbor(cell, (0, 1, 1));
+        assert!(f.jx[expected_edge] > 0.0);
+        let nonzero = f.jx.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nonzero, 1, "only the corner edge receives current");
+    }
+
+    #[test]
+    fn opposite_motions_cancel() {
+        let g = Grid::new(3, 3, 3);
+        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        let cell = 5;
+        acc.deposit_segment(0, cell, -0.5, 0.2, 0.2, 0.5, 0.2, 0.2, 1.0);
+        acc.deposit_segment(0, cell, 0.5, 0.2, 0.2, -0.5, 0.2, 0.2, 1.0);
+        let mut f = FieldArray::new(g);
+        acc.unload(&mut f);
+        assert!(f.jx.iter().all(|&x| x.abs() < 1e-7));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let g = Grid::new(2, 2, 2);
+        let acc = Accumulator::new(g.cells(), 2, ScatterMode::Duplicated);
+        acc.deposit_segment(1, 0, -0.5, 0.0, 0.0, 0.5, 0.0, 0.0, 1.0);
+        assert!(acc.slot(0, 0) != 0.0);
+        acc.reset();
+        for s in 0..SLOTS {
+            assert_eq!(acc.slot(0, s), 0.0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Mixed-precision particle storage (the paper's §2.3 pointer to the
+//! authors' memory-optimization line of work: "Previous work investigated
+//! using mixed precision to improve problem size scalability" [19, 20]).
+//!
+//! Positions are stored as 16-bit fixed point *within the owning cell* —
+//! safe because cell-relative offsets are bounded in `[-1, 1]` and the
+//! fields a particle sees vary smoothly across one cell — while momenta
+//! (whose dynamic range is unbounded) stay f32. The record shrinks from
+//! 32 B to 22 B (31%), matching the spirit of the 10-trillion-particle
+//! memory work.
+
+use crate::species::Species;
+
+/// Quantization scale: offsets in `[-1, 1]` map to `[-32767, 32767]`.
+const SCALE: f32 = 32767.0;
+
+/// Quantize one offset.
+#[inline(always)]
+pub fn quantize(x: f32) -> i16 {
+    debug_assert!((-1.0..=1.0).contains(&x));
+    (x * SCALE).round() as i16
+}
+
+/// Dequantize one offset.
+#[inline(always)]
+pub fn dequantize(q: i16) -> f32 {
+    q as f32 / SCALE
+}
+
+/// Worst-case quantization error in offset units (half a quantum).
+pub const MAX_QUANT_ERROR: f32 = 0.5 / SCALE;
+
+/// A compressed particle store: 16-bit positions, f32 momenta, uniform
+/// weight. 22 bytes per particle vs 32 for the full-precision SoA.
+#[derive(Debug, Clone)]
+pub struct CompactParticles {
+    /// Species name.
+    pub name: String,
+    /// Charge.
+    pub q: f32,
+    /// Mass.
+    pub m: f32,
+    /// Shared statistical weight (uniform-weight decks only).
+    pub weight: f32,
+    /// Quantized cell-relative offsets.
+    pub dx: Vec<i16>,
+    /// See [`CompactParticles::dx`].
+    pub dy: Vec<i16>,
+    /// See [`CompactParticles::dx`].
+    pub dz: Vec<i16>,
+    /// Owning cell per particle.
+    pub cell: Vec<u32>,
+    /// Momentum γβx (full precision).
+    pub ux: Vec<f32>,
+    /// Momentum γβy.
+    pub uy: Vec<f32>,
+    /// Momentum γβz.
+    pub uz: Vec<f32>,
+}
+
+impl CompactParticles {
+    /// Compress a species. Requires uniform weights (the common case for
+    /// benchmark decks); returns `Err` with the offending index otherwise.
+    pub fn from_species(s: &Species) -> Result<Self, usize> {
+        let weight = s.w.first().copied().unwrap_or(1.0);
+        if let Some(bad) = s.w.iter().position(|&w| w != weight) {
+            return Err(bad);
+        }
+        Ok(Self {
+            name: s.name.clone(),
+            q: s.q,
+            m: s.m,
+            weight,
+            dx: s.dx.iter().map(|&x| quantize(x)).collect(),
+            dy: s.dy.iter().map(|&x| quantize(x)).collect(),
+            dz: s.dz.iter().map(|&x| quantize(x)).collect(),
+            cell: s.cell.clone(),
+            ux: s.ux.clone(),
+            uy: s.uy.clone(),
+            uz: s.uz.clone(),
+        })
+    }
+
+    /// Decompress back to a full-precision species.
+    pub fn to_species(&self) -> Species {
+        let mut s = Species::new(self.name.clone(), self.q, self.m);
+        s.dx = self.dx.iter().map(|&q| dequantize(q)).collect();
+        s.dy = self.dy.iter().map(|&q| dequantize(q)).collect();
+        s.dz = self.dz.iter().map(|&q| dequantize(q)).collect();
+        s.cell = self.cell.clone();
+        s.ux = self.ux.clone();
+        s.uy = self.uy.clone();
+        s.uz = self.uz.clone();
+        s.w = vec![self.weight; self.cell.len()];
+        s
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.cell.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cell.is_empty()
+    }
+
+    /// Bytes per particle in this representation.
+    pub const BYTES_PER_PARTICLE: usize = 3 * 2 + 4 + 3 * 4;
+
+    /// Bytes per particle in the full-precision SoA.
+    pub const FULL_BYTES_PER_PARTICLE: usize = 8 * 4;
+
+    /// Total storage of the particle arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.len() * Self::BYTES_PER_PARTICLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::Deck;
+
+    #[test]
+    fn quantization_roundtrip_error_is_bounded() {
+        for i in -1000..=1000 {
+            let x = i as f32 / 1000.0;
+            let err = (dequantize(quantize(x)) - x).abs();
+            assert!(err <= MAX_QUANT_ERROR * 1.01, "x={x}: err {err}");
+        }
+        assert_eq!(dequantize(quantize(1.0)), 1.0);
+        assert_eq!(dequantize(quantize(-1.0)), -1.0);
+        assert_eq!(dequantize(quantize(0.0)), 0.0);
+    }
+
+    #[test]
+    fn compression_ratio_is_31_percent() {
+        assert_eq!(CompactParticles::BYTES_PER_PARTICLE, 22);
+        assert_eq!(CompactParticles::FULL_BYTES_PER_PARTICLE, 32);
+        let saved = 1.0
+            - CompactParticles::BYTES_PER_PARTICLE as f64
+                / CompactParticles::FULL_BYTES_PER_PARTICLE as f64;
+        assert!((0.30..0.33).contains(&saved));
+    }
+
+    #[test]
+    fn species_roundtrip_preserves_momenta_exactly() {
+        let grid = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&grid, 500, 0.2, (0.1, 0.0, 0.0), 0.01, 7);
+        let c = CompactParticles::from_species(&s).unwrap();
+        assert_eq!(c.memory_bytes(), 500 * 22);
+        let back = c.to_species();
+        assert_eq!(back.ux, s.ux, "momenta are lossless");
+        assert_eq!(back.cell, s.cell);
+        for i in 0..s.len() {
+            assert!((back.dx[i] - s.dx[i]).abs() <= MAX_QUANT_ERROR * 1.01);
+        }
+        back.validate(&grid).unwrap();
+    }
+
+    #[test]
+    fn nonuniform_weights_are_rejected() {
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 2.0);
+        assert_eq!(CompactParticles::from_species(&s), Err(1));
+    }
+
+    impl PartialEq for CompactParticles {
+        fn eq(&self, other: &Self) -> bool {
+            self.cell == other.cell && self.dx == other.dx
+        }
+    }
+
+    #[test]
+    fn physics_tolerates_quantization() {
+        // run the same deck full-precision and through a compress/
+        // decompress cycle every 5 steps: energies stay within tolerance
+        let mut reference = Deck::uniform(6, 6, 6, 8).build();
+        let mut lossy = Deck::uniform(6, 6, 6, 8).build();
+        for _ in 0..4 {
+            reference.run(5);
+            lossy.run(5);
+            for s in &mut lossy.species {
+                let c = CompactParticles::from_species(s).unwrap();
+                *s = c.to_species();
+            }
+        }
+        let e_ref = reference.energies().total();
+        let e_lossy = lossy.energies().total();
+        let rel = ((e_lossy - e_ref) / e_ref).abs();
+        assert!(rel < 1e-3, "quantization perturbed energy by {rel:.2e}");
+    }
+}

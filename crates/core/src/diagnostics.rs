@@ -1,0 +1,202 @@
+//! In-timestep particle diagnostics.
+//!
+//! The paper's §6 names "advanced diagnostics that can be run in the
+//! timestep" as a capability the performance work unlocks. These are the
+//! standard kinetic diagnostics: velocity-space histograms, per-species
+//! temperature (thermal spread), bulk drift, and per-cell density — each
+//! a single pass over the SoA particle arrays.
+
+use crate::grid::Grid;
+use crate::species::Species;
+use serde::Serialize;
+
+/// Per-species kinetic moments.
+#[derive(Debug, Clone, Serialize)]
+pub struct Moments {
+    /// Species name.
+    pub name: String,
+    /// Total weighted particle count.
+    pub density: f64,
+    /// Mean momentum per component (bulk drift, γβ units).
+    pub drift: (f64, f64, f64),
+    /// Momentum variance per component (thermal spread squared).
+    pub thermal_sq: (f64, f64, f64),
+    /// Scalar "temperature": mean of the three variances × mass.
+    pub temperature: f64,
+}
+
+/// Compute kinetic moments of a species.
+pub fn moments(s: &Species) -> Moments {
+    let n = s.len();
+    if n == 0 {
+        return Moments {
+            name: s.name.clone(),
+            density: 0.0,
+            drift: (0.0, 0.0, 0.0),
+            thermal_sq: (0.0, 0.0, 0.0),
+            temperature: 0.0,
+        };
+    }
+    let mut wsum = 0.0f64;
+    let mut mean = [0.0f64; 3];
+    for p in 0..n {
+        let w = s.w[p] as f64;
+        wsum += w;
+        mean[0] += w * s.ux[p] as f64;
+        mean[1] += w * s.uy[p] as f64;
+        mean[2] += w * s.uz[p] as f64;
+    }
+    for m in &mut mean {
+        *m /= wsum;
+    }
+    let mut var = [0.0f64; 3];
+    for p in 0..n {
+        let w = s.w[p] as f64;
+        var[0] += w * (s.ux[p] as f64 - mean[0]).powi(2);
+        var[1] += w * (s.uy[p] as f64 - mean[1]).powi(2);
+        var[2] += w * (s.uz[p] as f64 - mean[2]).powi(2);
+    }
+    for v in &mut var {
+        *v /= wsum;
+    }
+    Moments {
+        name: s.name.clone(),
+        density: wsum,
+        drift: (mean[0], mean[1], mean[2]),
+        thermal_sq: (var[0], var[1], var[2]),
+        temperature: s.m as f64 * (var[0] + var[1] + var[2]) / 3.0,
+    }
+}
+
+/// A velocity-space histogram over one momentum component.
+#[derive(Debug, Clone, Serialize)]
+pub struct VelocityHistogram {
+    /// Lower edge of the first bin.
+    pub min: f64,
+    /// Upper edge of the last bin.
+    pub max: f64,
+    /// Weighted counts per bin.
+    pub bins: Vec<f64>,
+}
+
+impl VelocityHistogram {
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.max - self.min) / self.bins.len() as f64
+    }
+
+    /// Total weight histogrammed.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.bins
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Histogram one momentum component (`0` = ux, `1` = uy, `2` = uz) into
+/// `bins` equal bins over `[min, max]`; out-of-range particles clamp to
+/// the edge bins.
+pub fn velocity_histogram(s: &Species, component: usize, bins: usize, min: f64, max: f64) -> VelocityHistogram {
+    assert!(component < 3, "component must be 0, 1, or 2");
+    assert!(bins >= 1 && max > min);
+    let data = match component {
+        0 => &s.ux,
+        1 => &s.uy,
+        _ => &s.uz,
+    };
+    let mut out = vec![0.0f64; bins];
+    let scale = bins as f64 / (max - min);
+    for (p, &u) in data.iter().enumerate() {
+        let b = (((u as f64 - min) * scale) as isize).clamp(0, bins as isize - 1) as usize;
+        out[b] += s.w[p] as f64;
+    }
+    VelocityHistogram { min, max, bins: out }
+}
+
+/// Per-cell weighted particle counts (the density field diagnostics and
+/// load-balance tooling read).
+pub fn cell_density(grid: &Grid, s: &Species) -> Vec<f64> {
+    let mut rho = vec![0.0f64; grid.cells()];
+    for p in 0..s.len() {
+        rho[s.cell[p] as usize] += s.w[p] as f64;
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thermal_species(vth: f32, drift: (f32, f32, f32)) -> Species {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 30_000, vth, drift, 0.5, 42);
+        s
+    }
+
+    #[test]
+    fn moments_recover_load_parameters() {
+        let s = thermal_species(0.08, (0.3, 0.0, -0.1));
+        let m = moments(&s);
+        assert!((m.density - 15_000.0).abs() < 1.0, "Σw = 30k × 0.5");
+        assert!((m.drift.0 - 0.3).abs() < 0.005);
+        assert!((m.drift.2 + 0.1).abs() < 0.005);
+        assert!((m.thermal_sq.1.sqrt() - 0.08).abs() < 0.005);
+        assert!((m.temperature - 0.08f64.powi(2)).abs() < 5e-4);
+    }
+
+    #[test]
+    fn empty_species_moments_are_zero() {
+        let s = Species::new("e", -1.0, 1.0);
+        let m = moments(&s);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.temperature, 0.0);
+    }
+
+    #[test]
+    fn histogram_centers_on_drift() {
+        let s = thermal_species(0.05, (0.2, 0.0, 0.0));
+        let h = velocity_histogram(&s, 0, 64, -0.5, 0.5);
+        assert!((h.total() - 15_000.0).abs() < 1.0);
+        // mode bin should contain u = 0.2
+        let mode_center = h.min + (h.mode_bin() as f64 + 0.5) * h.width();
+        assert!((mode_center - 0.2).abs() < 0.05, "{mode_center}");
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, 99.0, 0.0, 0.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, -99.0, 0.0, 0.0, 1.0);
+        let h = velocity_histogram(&s, 0, 10, -1.0, 1.0);
+        assert_eq!(h.bins[9], 1.0);
+        assert_eq!(h.bins[0], 1.0);
+    }
+
+    #[test]
+    fn cell_density_sums_to_total_weight() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 5000, 0.1, (0.0, 0.0, 0.0), 2.0, 3);
+        let rho = cell_density(&g, &s);
+        let total: f64 = rho.iter().sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
+        // uniform load: every cell populated
+        assert!(rho.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "component")]
+    fn bad_component_rejected() {
+        let s = Species::new("e", -1.0, 1.0);
+        let _ = velocity_histogram(&s, 3, 10, -1.0, 1.0);
+    }
+}

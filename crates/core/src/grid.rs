@@ -1,0 +1,165 @@
+//! The 3-D periodic Yee grid.
+//!
+//! Cells are indexed by a linear *voxel* id (VPIC's `VOXEL(x,y,z)`),
+//! x-fastest. There are no ghost layers: the grid is single-domain
+//! periodic and neighbor lookups wrap modularly (the `cluster` crate
+//! models multi-domain decomposition and its halo traffic separately).
+
+use serde::Serialize;
+
+/// Grid geometry and time step.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Grid {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z.
+    pub nz: usize,
+    /// Cell size along x (normalized units).
+    pub dx: f32,
+    /// Cell size along y.
+    pub dy: f32,
+    /// Cell size along z.
+    pub dz: f32,
+    /// Time step (must satisfy the Courant limit).
+    pub dt: f32,
+}
+
+impl Grid {
+    /// A periodic grid of `nx × ny × nz` unit cells with a CFL-safe `dt`.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid needs at least one cell");
+        let dt = crate::constants::courant_dt(1.0, 1.0, 1.0);
+        Self { nx, ny, nz, dx: 1.0, dy: 1.0, dz: 1.0, dt }
+    }
+
+    /// Override the time step (still must be CFL-stable; checked).
+    pub fn with_dt(mut self, dt: f32) -> Self {
+        let limit = crate::constants::courant_dt(self.dx, self.dy, self.dz)
+            / crate::constants::CFL_SAFETY;
+        assert!(dt > 0.0 && dt < limit, "dt {dt} violates the Courant limit {limit}");
+        self.dt = dt;
+        self
+    }
+
+    /// Total cell count.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Linear voxel id of `(ix, iy, iz)` (x-fastest, VPIC convention).
+    #[inline(always)]
+    pub fn voxel(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        ix + self.nx * (iy + self.ny * iz)
+    }
+
+    /// Inverse of [`Grid::voxel`].
+    #[inline(always)]
+    pub fn coords(&self, v: usize) -> (usize, usize, usize) {
+        debug_assert!(v < self.cells());
+        let ix = v % self.nx;
+        let iy = (v / self.nx) % self.ny;
+        let iz = v / (self.nx * self.ny);
+        (ix, iy, iz)
+    }
+
+    /// Periodic neighbor `delta = (dx, dy, dz)` of voxel `v`.
+    #[inline(always)]
+    pub fn neighbor(&self, v: usize, delta: (isize, isize, isize)) -> usize {
+        let (ix, iy, iz) = self.coords(v);
+        let wrap = |i: usize, d: isize, n: usize| -> usize {
+            (((i as isize + d) % n as isize + n as isize) % n as isize) as usize
+        };
+        self.voxel(
+            wrap(ix, delta.0, self.nx),
+            wrap(iy, delta.1, self.ny),
+            wrap(iz, delta.2, self.nz),
+        )
+    }
+
+    /// Physical domain volume.
+    pub fn volume(&self) -> f32 {
+        self.cells() as f32 * self.dx * self.dy * self.dz
+    }
+
+    /// The six face-neighbor deltas (VPIC's point-to-point partners).
+    pub const FACE_NEIGHBORS: [(isize, isize, isize); 6] = [
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voxel_roundtrip_covers_grid() {
+        let g = Grid::new(4, 3, 5);
+        assert_eq!(g.cells(), 60);
+        let mut seen = [false; 60];
+        for iz in 0..5 {
+            for iy in 0..3 {
+                for ix in 0..4 {
+                    let v = g.voxel(ix, iy, iz);
+                    assert!(!seen[v]);
+                    seen[v] = true;
+                    assert_eq!(g.coords(v), (ix, iy, iz));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn x_is_fastest_index() {
+        let g = Grid::new(8, 8, 8);
+        assert_eq!(g.voxel(1, 0, 0), g.voxel(0, 0, 0) + 1);
+        assert_eq!(g.voxel(0, 1, 0), 8);
+        assert_eq!(g.voxel(0, 0, 1), 64);
+    }
+
+    #[test]
+    fn neighbors_wrap_periodically() {
+        let g = Grid::new(4, 3, 2);
+        let v = g.voxel(0, 0, 0);
+        assert_eq!(g.neighbor(v, (-1, 0, 0)), g.voxel(3, 0, 0));
+        assert_eq!(g.neighbor(v, (0, -1, 0)), g.voxel(0, 2, 0));
+        assert_eq!(g.neighbor(v, (0, 0, -1)), g.voxel(0, 0, 1));
+        let w = g.voxel(3, 2, 1);
+        assert_eq!(g.neighbor(w, (1, 1, 1)), g.voxel(0, 0, 0));
+        // identity
+        assert_eq!(g.neighbor(w, (0, 0, 0)), w);
+    }
+
+    #[test]
+    fn default_dt_is_cfl_stable() {
+        let g = Grid::new(10, 10, 10);
+        assert!(g.dt < 1.0 / 3f32.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "Courant")]
+    fn with_dt_rejects_unstable_step() {
+        let _ = Grid::new(4, 4, 4).with_dt(1.0);
+    }
+
+    #[test]
+    fn six_face_neighbors() {
+        assert_eq!(Grid::FACE_NEIGHBORS.len(), 6);
+        let g = Grid::new(5, 5, 5);
+        let v = g.voxel(2, 2, 2);
+        let n: std::collections::HashSet<usize> = Grid::FACE_NEIGHBORS
+            .iter()
+            .map(|&d| g.neighbor(v, d))
+            .collect();
+        assert_eq!(n.len(), 6);
+        assert!(!n.contains(&v));
+    }
+}

@@ -1,0 +1,202 @@
+//! The per-cell 18-coefficient field interpolator.
+//!
+//! VPIC precomputes, per cell and per step, an `interpolator_t` of 18
+//! floats from the Yee fields; the particle push then *gathers one record
+//! per particle* and evaluates E and B at the particle with a handful of
+//! FMAs. This record is the gather target whose access pattern the
+//! paper's sorting algorithms optimize — its memory footprint (with
+//! padding and indexing) is what `memsim::push::INTERP_BYTES` models.
+//!
+//! Coefficient layout (VPIC order): for each E component, the bilinear
+//! coefficients over its two transverse directions in cell-relative
+//! coordinates `∈ [-1, 1]`; for each B component, the linear coefficient
+//! along its normal direction.
+
+use crate::field::FieldArray;
+
+/// Number of `f32` coefficients per cell.
+pub const COEFFS: usize = 18;
+
+/// One cell's interpolation record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct Interpolator(pub [f32; COEFFS]);
+
+// named indices into the coefficient array (VPIC field order)
+const EX0: usize = 0;
+const DEXDY: usize = 1;
+const DEXDZ: usize = 2;
+const D2EXDYDZ: usize = 3;
+const EY0: usize = 4;
+const DEYDZ: usize = 5;
+const DEYDX: usize = 6;
+const D2EYDZDX: usize = 7;
+const EZ0: usize = 8;
+const DEZDX: usize = 9;
+const DEZDY: usize = 10;
+const D2EZDXDY: usize = 11;
+const CBX0: usize = 12;
+const DCBXDX: usize = 13;
+const CBY0: usize = 14;
+const DCBYDY: usize = 15;
+const CBZ0: usize = 16;
+const DCBZDZ: usize = 17;
+
+impl Interpolator {
+    /// Electric field at cell-relative offsets `(x, y, z) ∈ [-1, 1]³`.
+    #[inline(always)]
+    pub fn e_at(&self, x: f32, y: f32, z: f32) -> (f32, f32, f32) {
+        let c = &self.0;
+        let ex = c[EX0] + y * c[DEXDY] + z * c[DEXDZ] + y * z * c[D2EXDYDZ];
+        let ey = c[EY0] + z * c[DEYDZ] + x * c[DEYDX] + z * x * c[D2EYDZDX];
+        let ez = c[EZ0] + x * c[DEZDX] + y * c[DEZDY] + x * y * c[D2EZDXDY];
+        (ex, ey, ez)
+    }
+
+    /// Magnetic field at cell-relative offsets.
+    #[inline(always)]
+    pub fn b_at(&self, x: f32, y: f32, z: f32) -> (f32, f32, f32) {
+        let c = &self.0;
+        (
+            c[CBX0] + x * c[DCBXDX],
+            c[CBY0] + y * c[DCBYDY],
+            c[CBZ0] + z * c[DCBZDZ],
+        )
+    }
+}
+
+/// Compute the interpolator array from the current fields (VPIC's
+/// `load_interpolator_array`). One record per cell.
+#[allow(clippy::needless_range_loop)] // voxel-indexed sweep matches the math
+pub fn load_interpolators(f: &FieldArray) -> Vec<Interpolator> {
+    let g = &f.grid;
+    let n = g.cells();
+    let mut out = vec![Interpolator::default(); n];
+    for v in 0..n {
+        let xp = g.neighbor(v, (1, 0, 0));
+        let yp = g.neighbor(v, (0, 1, 0));
+        let zp = g.neighbor(v, (0, 0, 1));
+        let ypzp = g.neighbor(v, (0, 1, 1));
+        let zpxp = g.neighbor(v, (1, 0, 1));
+        let xpyp = g.neighbor(v, (1, 1, 0));
+        let c = &mut out[v].0;
+        // ex: bilinear over (y, z); edges at (y∓, z∓)
+        let (e00, e10, e01, e11) = (f.ex[v], f.ex[yp], f.ex[zp], f.ex[ypzp]);
+        c[EX0] = 0.25 * (e00 + e10 + e01 + e11);
+        c[DEXDY] = 0.25 * ((e10 + e11) - (e00 + e01));
+        c[DEXDZ] = 0.25 * ((e01 + e11) - (e00 + e10));
+        c[D2EXDYDZ] = 0.25 * ((e00 + e11) - (e10 + e01));
+        // ey: bilinear over (z, x)
+        let (e00, e10, e01, e11) = (f.ey[v], f.ey[zp], f.ey[xp], f.ey[zpxp]);
+        c[EY0] = 0.25 * (e00 + e10 + e01 + e11);
+        c[DEYDZ] = 0.25 * ((e10 + e11) - (e00 + e01));
+        c[DEYDX] = 0.25 * ((e01 + e11) - (e00 + e10));
+        c[D2EYDZDX] = 0.25 * ((e00 + e11) - (e10 + e01));
+        // ez: bilinear over (x, y)
+        let (e00, e10, e01, e11) = (f.ez[v], f.ez[xp], f.ez[yp], f.ez[xpyp]);
+        c[EZ0] = 0.25 * (e00 + e10 + e01 + e11);
+        c[DEZDX] = 0.25 * ((e10 + e11) - (e00 + e01));
+        c[DEZDY] = 0.25 * ((e01 + e11) - (e00 + e10));
+        c[D2EZDXDY] = 0.25 * ((e00 + e11) - (e10 + e01));
+        // B: linear along each component's normal
+        c[CBX0] = 0.5 * (f.bx[v] + f.bx[xp]);
+        c[DCBXDX] = 0.5 * (f.bx[xp] - f.bx[v]);
+        c[CBY0] = 0.5 * (f.by[v] + f.by[yp]);
+        c[DCBYDY] = 0.5 * (f.by[yp] - f.by[v]);
+        c[CBZ0] = 0.5 * (f.bz[v] + f.bz[zp]);
+        c[DCBZDZ] = 0.5 * (f.bz[zp] - f.bz[v]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    #[test]
+    fn record_is_18_floats() {
+        assert_eq!(COEFFS, 18);
+        assert_eq!(std::mem::size_of::<Interpolator>(), 18 * 4);
+    }
+
+    #[test]
+    fn uniform_field_interpolates_to_itself_everywhere() {
+        let g = Grid::new(4, 4, 4);
+        let mut f = FieldArray::new(g);
+        f.ex.fill(2.0);
+        f.ey.fill(-1.0);
+        f.ez.fill(0.5);
+        f.bx.fill(3.0);
+        f.by.fill(-0.25);
+        f.bz.fill(1.0);
+        let interp = load_interpolators(&f);
+        for ip in &interp {
+            for &(x, y, z) in &[(0.0f32, 0.0f32, 0.0f32), (1.0, -1.0, 0.5), (-0.3, 0.7, -0.9)] {
+                let (ex, ey, ez) = ip.e_at(x, y, z);
+                assert!((ex - 2.0).abs() < 1e-6);
+                assert!((ey + 1.0).abs() < 1e-6);
+                assert!((ez - 0.5).abs() < 1e-6);
+                let (bx, by, bz) = ip.b_at(x, y, z);
+                assert!((bx - 3.0).abs() < 1e-6);
+                assert!((by + 0.25).abs() < 1e-6);
+                assert!((bz - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ex_edge_values_recovered_at_corners() {
+        // distinct values on the four x-edges of one cell
+        let g = Grid::new(3, 3, 3);
+        let mut f = FieldArray::new(g.clone());
+        let v = g.voxel(1, 1, 1);
+        let yp = g.neighbor(v, (0, 1, 0));
+        let zp = g.neighbor(v, (0, 0, 1));
+        let ypzp = g.neighbor(v, (0, 1, 1));
+        f.ex[v] = 1.0; // (y−, z−)
+        f.ex[yp] = 2.0; // (y+, z−)
+        f.ex[zp] = 3.0; // (y−, z+)
+        f.ex[ypzp] = 4.0; // (y+, z+)
+        let ip = load_interpolators(&f)[v];
+        assert!((ip.e_at(0.0, -1.0, -1.0).0 - 1.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, 1.0, -1.0).0 - 2.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, -1.0, 1.0).0 - 3.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, 1.0, 1.0).0 - 4.0).abs() < 1e-6);
+        // center is the mean
+        assert!((ip.e_at(0.0, 0.0, 0.0).0 - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bx_face_values_recovered() {
+        let g = Grid::new(3, 2, 2);
+        let mut f = FieldArray::new(g.clone());
+        let v = g.voxel(0, 0, 0);
+        let xp = g.neighbor(v, (1, 0, 0));
+        f.bx[v] = 10.0;
+        f.bx[xp] = 20.0;
+        let ip = load_interpolators(&f)[v];
+        assert!((ip.b_at(-1.0, 0.0, 0.0).0 - 10.0).abs() < 1e-6);
+        assert!((ip.b_at(1.0, 0.0, 0.0).0 - 20.0).abs() < 1e-6);
+        assert!((ip.b_at(0.0, 0.0, 0.0).0 - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_is_continuous_across_shared_edges() {
+        // neighboring cells must agree on E at their shared boundary:
+        // evaluate ex at the shared (y=+1 of cell v) == (y=−1 of cell v+y)
+        let g = Grid::new(4, 4, 4);
+        let mut f = FieldArray::new(g.clone());
+        for (i, e) in f.ex.iter_mut().enumerate() {
+            *e = (i as f32 * 0.618).sin();
+        }
+        let interp = load_interpolators(&f);
+        let v = g.voxel(1, 1, 1);
+        let vy = g.neighbor(v, (0, 1, 0));
+        for &z in &[-1.0f32, -0.5, 0.0, 0.5, 1.0] {
+            let top = interp[v].e_at(0.0, 1.0, z).0;
+            let bottom = interp[vy].e_at(0.0, -1.0, z).0;
+            assert!((top - bottom).abs() < 1e-6, "discontinuity at z={z}");
+        }
+    }
+}

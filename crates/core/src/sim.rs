@@ -1,0 +1,335 @@
+//! The simulation driver: the VPIC main loop.
+//!
+//! One [`Simulation::step`] is VPIC's advance: load interpolators from the
+//! fields, push every species (gather → Boris → mover/deposit), unload the
+//! current accumulator into J, then advance B and E on the Yee mesh. The
+//! sorting hook ([`Simulation::sort_particles`]) and the strategy/scatter
+//! knobs expose exactly the paper's tuning axes.
+
+use crate::accumulate::Accumulator;
+use crate::energy::EnergySnapshot;
+use crate::field::FieldArray;
+use crate::grid::Grid;
+use crate::interp::{load_interpolators, Interpolator};
+use crate::push::{push_species, PushStats};
+use crate::species::Species;
+use pk::atomic::ScatterMode;
+use psort::SortOrder;
+use vsimd::Strategy;
+
+/// A plane-antenna current driver (the laser injector for the LPI deck):
+/// adds `amplitude · sin(ω·t)` to `jz` over the `x = plane` cells each
+/// step, launching an electromagnetic wave into the plasma.
+#[derive(Debug, Clone)]
+pub struct LaserDriver {
+    /// x-plane index of the antenna.
+    pub plane: usize,
+    /// Peak driven current density.
+    pub amplitude: f32,
+    /// Angular frequency (normalized; ω = 2πc/λ with λ in cells).
+    pub omega: f32,
+}
+
+/// The owned state of one simulation.
+pub struct Simulation {
+    /// Grid geometry.
+    pub grid: Grid,
+    /// Field state.
+    pub fields: FieldArray,
+    /// Particle species.
+    pub species: Vec<Species>,
+    /// Vectorization strategy for the push kernel.
+    pub strategy: Strategy,
+    /// Scatter mode for current deposition.
+    pub scatter_mode: ScatterMode,
+    /// Optional sorting applied every `sort_interval` steps.
+    pub sort_order: Option<SortOrder>,
+    /// Steps between sorts (VPIC decks typically sort every ~20 steps).
+    pub sort_interval: usize,
+    /// Optional laser antenna.
+    pub laser: Option<LaserDriver>,
+    step: u64,
+    acc: Accumulator,
+}
+
+impl Simulation {
+    /// A simulation with empty fields and no species.
+    pub fn new(grid: Grid) -> Self {
+        let fields = FieldArray::new(grid.clone());
+        let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+        Self {
+            grid,
+            fields,
+            species: Vec::new(),
+            strategy: Strategy::Auto,
+            scatter_mode: ScatterMode::Atomic,
+            sort_order: None,
+            sort_interval: 20,
+            laser: None,
+            step: 0,
+            acc,
+        }
+    }
+
+    /// Add a species, returning its index.
+    pub fn add_species(&mut self, species: Species) -> usize {
+        debug_assert!(species.validate(&self.grid).is_ok());
+        self.species.push(species);
+        self.species.len() - 1
+    }
+
+    /// Steps taken so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Elapsed simulation time.
+    pub fn time(&self) -> f64 {
+        self.step as f64 * self.grid.dt as f64
+    }
+
+    /// Total particles across species.
+    pub fn particle_count(&self) -> usize {
+        self.species.iter().map(|s| s.len()).sum()
+    }
+
+    /// Compute fresh interpolators from the current fields.
+    pub fn interpolators(&self) -> Vec<Interpolator> {
+        load_interpolators(&self.fields)
+    }
+
+    /// Sort every species' particles by cell index under `order`
+    /// (the paper's §3.2 hook).
+    pub fn sort_particles(&mut self, order: SortOrder) {
+        for s in &mut self.species {
+            s.sort(order);
+        }
+    }
+
+    /// Advance one full step; returns aggregate push statistics.
+    pub fn step(&mut self) -> PushStats {
+        // periodic sort, as VPIC decks schedule it
+        if let Some(order) = self.sort_order {
+            if self.sort_interval > 0 && self.step.is_multiple_of(self.sort_interval as u64) {
+                self.sort_particles(order);
+            }
+        }
+        let interps = load_interpolators(&self.fields);
+        self.fields.clear_j();
+        self.acc.reset();
+        let mut stats = PushStats::default();
+        for s in &mut self.species {
+            let st = push_species(self.strategy, &self.grid, s, &interps, &self.acc);
+            stats.pushed += st.pushed;
+            stats.crossings += st.crossings;
+        }
+        self.acc.unload(&mut self.fields);
+        // laser antenna: driven current on the injection plane
+        if let Some(l) = &self.laser {
+            let t = self.time() as f32;
+            let drive = l.amplitude * (l.omega * t).sin();
+            for iy in 0..self.grid.ny {
+                for iz in 0..self.grid.nz {
+                    let v = self.grid.voxel(l.plane, iy, iz);
+                    self.fields.jz[v] += drive;
+                }
+            }
+        }
+        // leapfrog field advance
+        self.fields.advance_b(0.5);
+        self.fields.advance_e();
+        self.fields.advance_b(0.5);
+        self.step += 1;
+        stats
+    }
+
+    /// Advance `n` steps.
+    pub fn run(&mut self, n: usize) -> PushStats {
+        let mut total = PushStats::default();
+        for _ in 0..n {
+            let s = self.step();
+            total.pushed += s.pushed;
+            total.crossings += s.crossings;
+        }
+        total
+    }
+
+    /// Energy bookkeeping snapshot.
+    pub fn energies(&self) -> EnergySnapshot {
+        EnergySnapshot::capture(self)
+    }
+
+    /// Maximum Gauss-law residual `|∇·E − ρ|` over all nodes. With
+    /// charge-conserving deposition this stays at its initial value
+    /// (≈0 for neutral starts) instead of growing secularly.
+    #[allow(clippy::needless_range_loop)] // voxel-indexed sweep matches the math
+    pub fn gauss_residual(&self) -> f64 {
+        let g = &self.grid;
+        let mut rho = vec![0.0f64; g.cells()];
+        for s in &self.species {
+            for p in 0..s.len() {
+                crate::accumulate::deposit_rho_node(
+                    g,
+                    &mut rho,
+                    s.cell[p] as usize,
+                    s.dx[p],
+                    s.dy[p],
+                    s.dz[p],
+                    s.q * s.w[p],
+                );
+            }
+        }
+        let cell_volume = (g.dx * g.dy * g.dz) as f64;
+        let mut worst = 0.0f64;
+        for v in 0..g.cells() {
+            let xm = g.neighbor(v, (-1, 0, 0));
+            let ym = g.neighbor(v, (0, -1, 0));
+            let zm = g.neighbor(v, (0, 0, -1));
+            let f = &self.fields;
+            let div_e = ((f.ex[v] - f.ex[xm]) / g.dx
+                + (f.ey[v] - f.ey[ym]) / g.dy
+                + (f.ez[v] - f.ez[zm]) / g.dz) as f64;
+            let resid = (div_e - rho[v] / cell_volume).abs();
+            worst = worst.max(resid);
+        }
+        worst
+    }
+
+    /// Rebuild the accumulator for a different worker count / scatter
+    /// mode (used by the deposition ablation bench).
+    pub fn configure_scatter(&mut self, workers: usize, mode: ScatterMode) {
+        self.scatter_mode = mode;
+        self.acc = Accumulator::new(self.grid.cells(), workers, mode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neutral_pair_sim(nx: usize) -> Simulation {
+        let grid = Grid::new(nx, nx, nx);
+        let mut sim = Simulation::new(grid.clone());
+        let mut e = Species::new("electron", -1.0, 1.0);
+        // weight chosen so ω_p·dt ≈ 0.2 (resolved plasma oscillation)
+        let ppc = 2000.0 / grid.cells() as f32;
+        let w = 0.13 / ppc;
+        e.load_uniform(&grid, 2000, 0.05, (0.0, 0.0, 0.0), w, 11);
+        // ions colocated with electrons: exact initial neutrality
+        let mut ion = Species::new("ion", 1.0, crate::constants::ION_MASS_RATIO);
+        ion.dx = e.dx.clone();
+        ion.dy = e.dy.clone();
+        ion.dz = e.dz.clone();
+        ion.cell = e.cell.clone();
+        ion.ux = vec![0.0; e.len()];
+        ion.uy = vec![0.0; e.len()];
+        ion.uz = vec![0.0; e.len()];
+        ion.w = e.w.clone();
+        sim.add_species(e);
+        sim.add_species(ion);
+        sim
+    }
+
+    #[test]
+    fn step_counts_and_time_advance() {
+        let mut sim = neutral_pair_sim(4);
+        assert_eq!(sim.step_count(), 0);
+        let stats = sim.run(3);
+        assert_eq!(sim.step_count(), 3);
+        assert_eq!(stats.pushed, 3 * sim.particle_count());
+        assert!((sim.time() - 3.0 * sim.grid.dt as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn particles_stay_valid_over_many_steps() {
+        let mut sim = neutral_pair_sim(4);
+        sim.run(25);
+        for s in &sim.species {
+            s.validate(&sim.grid).unwrap();
+        }
+    }
+
+    #[test]
+    fn gauss_law_residual_stays_small() {
+        let mut sim = neutral_pair_sim(4);
+        let r0 = sim.gauss_residual();
+        assert!(r0 < 1e-5, "neutral start: {r0}");
+        sim.run(20);
+        let r1 = sim.gauss_residual();
+        assert!(
+            r1 < 5e-4,
+            "charge-conserving deposition must keep Gauss residual bounded: {r1}"
+        );
+    }
+
+    #[test]
+    fn total_energy_bounded_in_thermal_plasma() {
+        let mut sim = neutral_pair_sim(5);
+        let e0 = sim.energies().total();
+        sim.run(50);
+        let e1 = sim.energies().total();
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 0.05, "energy drift {drift} over 50 steps");
+    }
+
+    #[test]
+    fn sorting_does_not_change_physics() {
+        let mut a = neutral_pair_sim(4);
+        let mut b = neutral_pair_sim(4);
+        b.sort_order = Some(SortOrder::Standard);
+        b.sort_interval = 5;
+        a.run(12);
+        b.run(12);
+        let ea = a.energies();
+        let eb = b.energies();
+        assert!(
+            ((ea.total() - eb.total()) / ea.total()).abs() < 1e-3,
+            "sorted and unsorted runs diverged: {} vs {}",
+            ea.total(),
+            eb.total()
+        );
+    }
+
+    #[test]
+    fn strategies_agree_at_simulation_level() {
+        let totals: Vec<f64> =
+            [Strategy::Auto, Strategy::Guided, Strategy::Manual, Strategy::AdHoc]
+                .iter()
+                .map(|&strat| {
+                    let mut sim = neutral_pair_sim(4);
+                    sim.strategy = strat;
+                    sim.run(10);
+                    sim.energies().total()
+                })
+                .collect();
+        for w in totals.windows(2) {
+            assert!(
+                ((w[0] - w[1]) / w[0]).abs() < 1e-3,
+                "strategy-dependent physics: {totals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn laser_driver_injects_field_energy() {
+        let grid = Grid::new(16, 4, 4);
+        let mut sim = Simulation::new(grid);
+        sim.laser = Some(LaserDriver { plane: 0, amplitude: 0.1, omega: 0.5 });
+        assert_eq!(sim.energies().total(), 0.0);
+        sim.run(30);
+        let (fe, fb) = sim.fields.energies();
+        assert!(fe > 0.0 && fb > 0.0, "antenna must radiate: E={fe}, B={fb}");
+    }
+
+    #[test]
+    fn scatter_modes_agree_at_simulation_level() {
+        let mut a = neutral_pair_sim(4);
+        a.configure_scatter(4, ScatterMode::Atomic);
+        let mut b = neutral_pair_sim(4);
+        b.configure_scatter(4, ScatterMode::Duplicated);
+        a.run(10);
+        b.run(10);
+        let (ea, eb) = (a.energies().total(), b.energies().total());
+        assert!(((ea - eb) / ea).abs() < 1e-6, "{ea} vs {eb}");
+    }
+}

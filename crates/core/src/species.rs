@@ -1,0 +1,310 @@
+//! Particle species with VPIC's storage layout.
+//!
+//! Particles are SoA: cell-relative offsets `dx, dy, dz ∈ [-1, 1]`, the
+//! owning cell's voxel index `i`, normalized momentum `ux, uy, uz`
+//! (γβ components), and a statistical weight `w`. Keeping the cell index
+//! explicit is what makes "sort particles by cell index" (the paper's
+//! §3.2) a plain key/value sort.
+
+use crate::grid::Grid;
+use psort::SortOrder;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One particle species (electrons, ions, …).
+#[derive(Debug, Clone)]
+pub struct Species {
+    /// Display name.
+    pub name: String,
+    /// Charge in normalized units.
+    pub q: f32,
+    /// Mass in normalized units.
+    pub m: f32,
+    /// Cell-relative x offset per particle, in `[-1, 1]`.
+    pub dx: Vec<f32>,
+    /// Cell-relative y offset.
+    pub dy: Vec<f32>,
+    /// Cell-relative z offset.
+    pub dz: Vec<f32>,
+    /// Owning cell voxel index.
+    pub cell: Vec<u32>,
+    /// Normalized momentum γβx.
+    pub ux: Vec<f32>,
+    /// Normalized momentum γβy.
+    pub uy: Vec<f32>,
+    /// Normalized momentum γβz.
+    pub uz: Vec<f32>,
+    /// Statistical weight.
+    pub w: Vec<f32>,
+}
+
+impl Species {
+    /// An empty species.
+    pub fn new(name: impl Into<String>, q: f32, m: f32) -> Self {
+        assert!(m > 0.0, "mass must be positive");
+        Self {
+            name: name.into(),
+            q,
+            m,
+            dx: Vec::new(),
+            dy: Vec::new(),
+            dz: Vec::new(),
+            cell: Vec::new(),
+            ux: Vec::new(),
+            uy: Vec::new(),
+            uz: Vec::new(),
+            w: Vec::new(),
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.cell.len()
+    }
+
+    /// True when the species holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.cell.is_empty()
+    }
+
+    /// Append one particle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_particle(
+        &mut self,
+        dx: f32,
+        dy: f32,
+        dz: f32,
+        cell: u32,
+        ux: f32,
+        uy: f32,
+        uz: f32,
+        w: f32,
+    ) {
+        debug_assert!((-1.0..=1.0).contains(&dx));
+        debug_assert!((-1.0..=1.0).contains(&dy));
+        debug_assert!((-1.0..=1.0).contains(&dz));
+        self.dx.push(dx);
+        self.dy.push(dy);
+        self.dz.push(dz);
+        self.cell.push(cell);
+        self.ux.push(ux);
+        self.uy.push(uy);
+        self.uz.push(uz);
+        self.w.push(w);
+    }
+
+    /// Seed `n` particles uniformly over the grid with a Maxwellian-ish
+    /// (Gaussian per component) momentum spread `vth` plus drift
+    /// `(ux0, uy0, uz0)`.
+    pub fn load_uniform(
+        &mut self,
+        grid: &Grid,
+        n: usize,
+        vth: f32,
+        drift: (f32, f32, f32),
+        weight: f32,
+        seed: u64,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cells = grid.cells() as u32;
+        for _ in 0..n {
+            let cell = rng.gen_range(0..cells);
+            // Box-Muller pairs for the thermal spread
+            let gauss = |rng: &mut ChaCha8Rng| -> f32 {
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            };
+            self.push_particle(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                cell,
+                drift.0 + vth * gauss(&mut rng),
+                drift.1 + vth * gauss(&mut rng),
+                drift.2 + vth * gauss(&mut rng),
+                weight,
+            );
+        }
+    }
+
+    /// Lorentz factor of particle `p`.
+    #[inline(always)]
+    pub fn gamma(&self, p: usize) -> f32 {
+        (1.0 + self.ux[p] * self.ux[p] + self.uy[p] * self.uy[p] + self.uz[p] * self.uz[p]).sqrt()
+    }
+
+    /// Total kinetic energy `Σ w·m·(γ−1)` (normalized units, `c = 1`).
+    pub fn kinetic_energy(&self) -> f64 {
+        let mut total = 0.0f64;
+        for p in 0..self.len() {
+            total += (self.w[p] * self.m) as f64 * (self.gamma(p) as f64 - 1.0);
+        }
+        total
+    }
+
+    /// Total momentum `Σ w·m·u` per component.
+    pub fn momentum(&self) -> (f64, f64, f64) {
+        let mut px = 0.0f64;
+        let mut py = 0.0f64;
+        let mut pz = 0.0f64;
+        for p in 0..self.len() {
+            let wm = (self.w[p] * self.m) as f64;
+            px += wm * self.ux[p] as f64;
+            py += wm * self.uy[p] as f64;
+            pz += wm * self.uz[p] as f64;
+        }
+        (px, py, pz)
+    }
+
+    /// Total charge `Σ w·q`.
+    pub fn charge(&self) -> f64 {
+        self.w.iter().map(|&w| (w * self.q) as f64).sum()
+    }
+
+    /// Reorder the particle arrays by cell index under `order` — the
+    /// paper's sorting hook. All eight SoA arrays move in tandem.
+    pub fn sort(&mut self, order: SortOrder) {
+        let mut keys = self.cell.clone();
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        psort::sort_pairs(order, &mut keys, &mut idx);
+        self.cell = keys;
+        for arr in [
+            &mut self.dx,
+            &mut self.dy,
+            &mut self.dz,
+            &mut self.ux,
+            &mut self.uy,
+            &mut self.uz,
+            &mut self.w,
+        ] {
+            pk::sort::permute_in_place(&idx, arr);
+        }
+    }
+
+    /// True when particle data is self-consistent (offsets in range,
+    /// cells in range, finite momenta). Used by tests and debug asserts.
+    pub fn validate(&self, grid: &Grid) -> Result<(), String> {
+        let cells = grid.cells() as u32;
+        for p in 0..self.len() {
+            if !(-1.0..=1.0).contains(&self.dx[p])
+                || !(-1.0..=1.0).contains(&self.dy[p])
+                || !(-1.0..=1.0).contains(&self.dz[p])
+            {
+                return Err(format!(
+                    "particle {p} offsets out of range: ({}, {}, {})",
+                    self.dx[p], self.dy[p], self.dz[p]
+                ));
+            }
+            if self.cell[p] >= cells {
+                return Err(format!("particle {p} cell {} out of range", self.cell[p]));
+            }
+            if !self.ux[p].is_finite() || !self.uy[p].is_finite() || !self.uz[p].is_finite() {
+                return Err(format!("particle {p} momentum not finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut s = Species::new("e", -1.0, 1.0);
+        assert!(s.is_empty());
+        s.push_particle(0.0, 0.5, -0.5, 3, 0.1, 0.0, 0.0, 1.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.cell[0], 3);
+    }
+
+    #[test]
+    fn uniform_load_is_valid_and_deterministic() {
+        let g = Grid::new(8, 8, 8);
+        let mut a = Species::new("e", -1.0, 1.0);
+        a.load_uniform(&g, 1000, 0.1, (0.0, 0.0, 0.0), 1.0, 42);
+        assert_eq!(a.len(), 1000);
+        a.validate(&g).unwrap();
+        let mut b = Species::new("e", -1.0, 1.0);
+        b.load_uniform(&g, 1000, 0.1, (0.0, 0.0, 0.0), 1.0, 42);
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.ux, b.ux);
+    }
+
+    #[test]
+    fn thermal_load_statistics() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        let vth = 0.05;
+        s.load_uniform(&g, 20_000, vth, (0.2, 0.0, 0.0), 1.0, 7);
+        let n = s.len() as f64;
+        let mean_ux: f64 = s.ux.iter().map(|&u| u as f64).sum::<f64>() / n;
+        assert!((mean_ux - 0.2).abs() < 0.005, "drift recovered: {mean_ux}");
+        let var_uy: f64 = s.uy.iter().map(|&u| (u as f64).powi(2)).sum::<f64>() / n;
+        assert!(
+            (var_uy.sqrt() - vth as f64).abs() < 0.005,
+            "thermal spread recovered: {}",
+            var_uy.sqrt()
+        );
+    }
+
+    #[test]
+    fn gamma_and_energy() {
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 0, 3.0, 0.0, 4.0, 2.0);
+        assert_eq!(s.gamma(0), 1.0);
+        assert!((s.gamma(1) - 26.0f32.sqrt()).abs() < 1e-6);
+        let ke = s.kinetic_energy();
+        assert!((ke - 2.0 * (26.0f64.sqrt() - 1.0)).abs() < 1e-5);
+        assert_eq!(s.charge(), -3.0);
+        let (px, _, pz) = s.momentum();
+        assert!((px - 6.0).abs() < 1e-6);
+        assert!((pz - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sort_keeps_particles_intact() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 500, 0.1, (0.0, 0.0, 0.0), 1.0, 3);
+        let ke0 = s.kinetic_energy();
+        let q0 = s.charge();
+        // pair each particle's cell with a fingerprint of its state
+        let mut pairs0: Vec<(u32, u32)> = (0..s.len())
+            .map(|p| (s.cell[p], s.ux[p].to_bits()))
+            .collect();
+        for order in SortOrder::fig7_set(16) {
+            s.sort(order);
+            s.validate(&g).unwrap();
+            assert!((s.kinetic_energy() - ke0).abs() < 1e-9);
+            assert_eq!(s.charge(), q0);
+            let mut pairs: Vec<(u32, u32)> = (0..s.len())
+                .map(|p| (s.cell[p], s.ux[p].to_bits()))
+                .collect();
+            pairs.sort_unstable();
+            pairs0.sort_unstable();
+            assert_eq!(pairs, pairs0, "sort broke cell↔momentum pairing ({order})");
+        }
+    }
+
+    #[test]
+    fn standard_sort_orders_cells() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 200, 0.1, (0.0, 0.0, 0.0), 1.0, 9);
+        s.sort(SortOrder::Standard);
+        assert!(s.cell.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn validate_catches_bad_cell() {
+        let g = Grid::new(2, 2, 2);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.push_particle(0.0, 0.0, 0.0, 100, 0.0, 0.0, 0.0, 1.0);
+        assert!(s.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # memsim — trace-driven hardware performance model
+//!
+//! This crate is the reproduction's stand-in for the paper's twelve CPU and
+//! GPU platforms (Table 1). No GPU or cluster is available here, so instead
+//! of *running* on an A100 we *model* one: kernels are described by their
+//! actual memory-access streams (the real key arrays produced by the real
+//! sorting algorithms in `psort`) and the model accounts the mechanisms the
+//! paper studies:
+//!
+//! * **Coalescing** — per-warp distinct-sector counting ([`trace`]).
+//! * **Cache capacity & reuse** — a set-associative LRU last-level cache
+//!   simulated over the real line-address stream ([`cache`]).
+//! * **Atomic contention** — intra-warp conflict serialization and
+//!   same-address dependency chains ([`trace`], [`gpu`], [`cpu`]).
+//! * **Bandwidth & latency limits** — per-platform DRAM/LLC descriptors
+//!   ([`platform`]), validated against the paper's STREAM Triad column
+//!   ([`stream`]).
+//! * **Roofline accounting** — FLOP and byte counters turned into
+//!   arithmetic intensity and achieved throughput ([`roofline`]).
+//!
+//! The model's contract is the paper's reproduction target: the *shape* of
+//! each figure (which sorting wins on which architecture, where crossovers
+//! and cache cliffs fall), not cycle-exact absolute numbers.
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod platform;
+pub mod push;
+pub mod roofline;
+pub mod stream;
+pub mod trace;
+
+pub use cache::CacheSim;
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use platform::{Platform, PlatformKind, Vendor};
+pub use roofline::{Roofline, RooflineSample};
+pub use trace::{GatherScatterSpec, KernelCost};

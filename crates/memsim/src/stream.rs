@@ -1,0 +1,91 @@
+//! STREAM Triad through the kernel engines — the model's validation
+//! anchor against Table 1's measured bandwidth column.
+//!
+//! Triad (`a[i] = b[i] + s·c[i]`) is the best case for any memory system:
+//! three unit-stride streams, no reuse, no conflicts. Pushing it through
+//! the same engines that model the sorting kernels checks that the
+//! engines' overhead terms vanish when they should: the achieved
+//! bandwidth must come out at (approximately) the platform's `dram_bw`,
+//! which *is* the paper's STREAM Triad number.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use crate::platform::{Platform, PlatformKind};
+use crate::trace::GatherScatterSpec;
+
+/// Result of a modelled STREAM Triad run.
+#[derive(Debug, Clone, Copy)]
+pub struct TriadResult {
+    /// Modelled runtime in seconds.
+    pub time: f64,
+    /// Achieved bandwidth, bytes/s (3 streams + write-allocate read).
+    pub bandwidth: f64,
+    /// Achieved / Table-1 spec bandwidth.
+    pub efficiency: f64,
+}
+
+/// Model STREAM Triad over `n` f64 elements on `platform`.
+pub fn triad(platform: &Platform, n: usize) -> TriadResult {
+    // triad as a gather-scatter spec: contiguous unique "keys" make the
+    // b-array access a unit-stride gather; a and c are pure streams.
+    let keys: Vec<u32> = (0..n as u32).collect();
+    let spec = GatherScatterSpec {
+        keys: &keys,
+        table_len: n,
+        elem_bytes: 8,
+        stencil: &[0],
+        stream_bytes: 16.0, // read c[i], write a[i]
+        flops: 2.0,         // one multiply + one add
+        atomic: false,
+    };
+    // keep the simulated table far larger than the (scaled) cache so no
+    // phantom reuse appears: scale caches down hard
+    let cost = match platform.kind {
+        PlatformKind::Gpu => GpuModel::scaled(platform.clone(), 4096.0).run(&spec),
+        PlatformKind::Cpu => CpuModel::scaled(platform.clone(), 4096.0).run(&spec),
+    };
+    // STREAM counts 3 × 8 bytes per element (the paper's Table 1 numbers
+    // are standard STREAM Triad reports)
+    let useful = 24.0 * n as f64;
+    let bandwidth = useful / cost.time;
+    TriadResult { time: cost.time, bandwidth, efficiency: bandwidth / platform.dram_bw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform;
+
+    #[test]
+    fn triad_lands_near_spec_bandwidth_on_every_platform() {
+        for p in platform::all() {
+            let r = triad(&p, 1 << 19);
+            assert!(
+                r.efficiency > 0.5 && r.efficiency < 1.3,
+                "{}: triad efficiency {:.2} (bw {:.3e} vs spec {:.3e})",
+                p.name,
+                r.efficiency,
+                r.bandwidth,
+                p.dram_bw
+            );
+        }
+    }
+
+    #[test]
+    fn triad_time_scales_linearly() {
+        let p = platform::by_name("A100").unwrap();
+        let t1 = triad(&p, 1 << 18).time;
+        let t2 = triad(&p, 1 << 19).time;
+        let ratio = t2 / t1;
+        assert!((1.6..=2.4).contains(&ratio), "doubling n should ~double time: {ratio}");
+    }
+
+    #[test]
+    fn bandwidth_ordering_follows_table1() {
+        let bw = |name: &str| triad(&platform::by_name(name).unwrap(), 1 << 18).bandwidth;
+        assert!(bw("H100") > bw("A100"));
+        assert!(bw("A100") > bw("V100"));
+        assert!(bw("A64FX") > bw("EPYC 7763"));
+        assert!(bw("SPR HBM") > bw("SPR DDR"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Kernel descriptions and access-stream statistics.
+//!
+//! A [`GatherScatterSpec`] describes a kernel by its *actual* key array —
+//! the sequence of table indices touched, in execution order, exactly as
+//! produced by a sorting algorithm in `psort`. The statistics extracted
+//! here (per-group distinct sectors, same-address conflicts, dependency
+//! run lengths) are what the paper's mechanisms — coalescing, atomic
+//! serialization, reuse — act on.
+
+use serde::Serialize;
+
+/// A gather/scatter kernel over a table, described by its access stream.
+#[derive(Debug, Clone)]
+pub struct GatherScatterSpec<'a> {
+    /// Table indices in execution order (the sorted key array).
+    pub keys: &'a [u32],
+    /// Number of addressable table entries (`max key + 1` or larger).
+    pub table_len: usize,
+    /// Bytes per table element (8 for the paper's f64 benchmark).
+    pub elem_bytes: u64,
+    /// Stencil offsets applied to every key: `[0]` for plain
+    /// gather-scatter, five offsets for the paper's 5-point stencil.
+    pub stencil: &'a [i64],
+    /// Streaming bytes per element (the `values` read plus any ordered
+    /// write-back) — traffic that bypasses reuse.
+    pub stream_bytes: f64,
+    /// Floating-point operations per element.
+    pub flops: f64,
+    /// Whether the scatter phase is an atomic accumulation.
+    pub atomic: bool,
+}
+
+impl GatherScatterSpec<'_> {
+    /// Number of elements processed.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Clamp `key + offset` into the table (paper's stencil benchmark
+    /// clamps at the boundary).
+    #[inline]
+    pub fn stencil_index(&self, key: u32, off: i64) -> u64 {
+        let idx = key as i64 + off;
+        idx.clamp(0, self.table_len as i64 - 1) as u64
+    }
+
+    /// Logical bytes the kernel must move regardless of caching: the
+    /// streaming traffic plus one read per stencil point, plus a
+    /// read-modify-write (two element moves) for an atomic scatter. This
+    /// is the paper's "total amount of data movement" numerator for
+    /// bandwidth.
+    pub fn useful_bytes(&self) -> f64 {
+        let n = self.len() as f64;
+        let accesses_per_elem = self.stencil.len() as f64 + if self.atomic { 2.0 } else { 0.0 };
+        n * self.stream_bytes + n * accesses_per_elem * self.elem_bytes as f64
+    }
+}
+
+/// Aggregate statistics of an access stream, grouped by `group` lanes
+/// (a GPU warp or a CPU SIMD group).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TraceStats {
+    /// Number of lane groups processed.
+    pub groups: u64,
+    /// Distinct memory sectors touched, summed over groups and stencil
+    /// points (the GPU transaction count; 32 for a fully divergent warp,
+    /// 1 for a broadcast).
+    pub transactions: u64,
+    /// Same-address overlaps within a group: Σ (multiplicity − 1).
+    /// Serialization steps for intra-group atomic conflicts.
+    pub conflicts: u64,
+    /// Same-address *consecutive-run* overlaps across the whole stream:
+    /// Σ (run_length − 1). Dependent-chain length for accumulations.
+    pub dep_chain: u64,
+}
+
+/// Compute [`TraceStats`] for the scatter target addresses of `spec`,
+/// grouping `group` consecutive elements per issue.
+pub fn scatter_stats(spec: &GatherScatterSpec<'_>, group: usize) -> TraceStats {
+    addr_stats(spec, group, &[0])
+}
+
+/// Compute [`TraceStats`] for the gather addresses of `spec` (all stencil
+/// points), grouping `group` consecutive elements.
+pub fn gather_stats(spec: &GatherScatterSpec<'_>, group: usize) -> TraceStats {
+    addr_stats(spec, group, spec.stencil)
+}
+
+fn addr_stats(spec: &GatherScatterSpec<'_>, group: usize, stencil: &[i64]) -> TraceStats {
+    let group = group.max(1);
+    let mut stats = TraceStats::default();
+    let sector = spec.elem_bytes.max(1); // conflicts are per element address
+    let mut scratch: Vec<u64> = Vec::with_capacity(group * stencil.len());
+    for chunk in spec.keys.chunks(group) {
+        stats.groups += 1;
+        for &off in stencil {
+            scratch.clear();
+            for &k in chunk {
+                scratch.push(spec.stencil_index(k, off) * sector);
+            }
+            scratch.sort_unstable();
+            // distinct elements → conflicts; handled per stencil point
+            let mut distinct = 0u64;
+            let mut prev = u64::MAX;
+            for &a in scratch.iter() {
+                if a != prev {
+                    distinct += 1;
+                    prev = a;
+                }
+            }
+            stats.conflicts += chunk.len() as u64 - distinct;
+        }
+    }
+    // transactions: distinct sectors per group per stencil point
+    // (separate pass because sector size differs from element size)
+    stats.transactions = transaction_count(spec, group, stencil, 32);
+    // dependency runs over the raw stream (group-independent)
+    let mut prev = u64::MAX;
+    let mut run = 0u64;
+    for &k in spec.keys {
+        let a = k as u64;
+        if a == prev {
+            run += 1;
+            stats.dep_chain += 1;
+        } else {
+            prev = a;
+            run = 0;
+        }
+        let _ = run;
+    }
+    stats
+}
+
+/// Count distinct `sector_bytes` sectors touched per group of `group`
+/// consecutive elements, summed over groups and stencil points.
+pub fn transaction_count(
+    spec: &GatherScatterSpec<'_>,
+    group: usize,
+    stencil: &[i64],
+    sector_bytes: u64,
+) -> u64 {
+    let group = group.max(1);
+    let sector_bytes = sector_bytes.max(1);
+    let mut total = 0u64;
+    let mut scratch: Vec<u64> = Vec::with_capacity(group);
+    for chunk in spec.keys.chunks(group) {
+        for &off in stencil {
+            scratch.clear();
+            for &k in chunk {
+                scratch.push(spec.stencil_index(k, off) * spec.elem_bytes / sector_bytes);
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            total += scratch.len() as u64;
+        }
+    }
+    total
+}
+
+/// The bottleneck decomposition of a modelled kernel execution.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct KernelCost {
+    /// Wall time, seconds (max of the component terms).
+    pub time: f64,
+    /// DRAM traffic in bytes (cache misses × line size + streaming).
+    pub dram_bytes: f64,
+    /// Last-level-cache traffic in bytes (all cached accesses).
+    pub llc_bytes: f64,
+    /// The kernel's logical data movement (bandwidth numerator).
+    pub useful_bytes: f64,
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Time if DRAM bandwidth were the only limit.
+    pub t_dram: f64,
+    /// Time if LLC bandwidth were the only limit.
+    pub t_llc: f64,
+    /// Time if transaction issue were the only limit.
+    pub t_issue: f64,
+    /// Time if atomic serialization were the only limit.
+    pub t_atomic: f64,
+    /// Time if memory latency (limited MLP) were the only limit.
+    pub t_latency: f64,
+    /// Time if peak FLOP throughput were the only limit.
+    pub t_compute: f64,
+}
+
+impl KernelCost {
+    /// Finalize: wall time = the slowest component.
+    pub fn finish(mut self) -> Self {
+        self.time = self
+            .t_dram
+            .max(self.t_llc)
+            .max(self.t_issue)
+            .max(self.t_atomic)
+            .max(self.t_latency)
+            .max(self.t_compute);
+        self
+    }
+
+    /// The paper's bandwidth metric: logical data movement / runtime.
+    pub fn bandwidth(&self) -> f64 {
+        if self.time > 0.0 {
+            self.useful_bytes / self.time
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved FLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.time > 0.0 {
+            self.flops / self.time / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Roofline arithmetic intensity: FLOPs per DRAM byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes > 0.0 {
+            self.flops / self.dram_bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Name of the binding bottleneck term.
+    pub fn bottleneck(&self) -> &'static str {
+        let pairs = [
+            (self.t_dram, "dram-bandwidth"),
+            (self.t_llc, "llc-bandwidth"),
+            (self.t_issue, "issue"),
+            (self.t_atomic, "atomics"),
+            (self.t_latency, "latency"),
+            (self.t_compute, "compute"),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|p| p.1)
+            .unwrap_or("none")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec<'a>(keys: &'a [u32], stencil: &'a [i64]) -> GatherScatterSpec<'a> {
+        GatherScatterSpec {
+            keys,
+            table_len: 1 << 20,
+            elem_bytes: 8,
+            stencil,
+            stream_bytes: 8.0,
+            flops: 2.0,
+            atomic: true,
+        }
+    }
+
+    #[test]
+    fn contiguous_keys_coalesce() {
+        let keys: Vec<u32> = (0..128).collect();
+        let s = spec(&keys, &[0]);
+        // 32-lane groups of consecutive 8-byte elements: 32*8/32 = 8 sectors
+        let t = transaction_count(&s, 32, &[0], 32);
+        assert_eq!(t, 4 * 8);
+        let st = gather_stats(&s, 32);
+        assert_eq!(st.groups, 4);
+        assert_eq!(st.conflicts, 0);
+        assert_eq!(st.dep_chain, 0);
+    }
+
+    #[test]
+    fn broadcast_keys_conflict() {
+        let keys = vec![7u32; 64];
+        let s = spec(&keys, &[0]);
+        let t = transaction_count(&s, 32, &[0], 32);
+        assert_eq!(t, 2, "same address → one sector per group");
+        let st = scatter_stats(&s, 32);
+        assert_eq!(st.conflicts, 2 * 31, "31 serialization steps per group");
+        assert_eq!(st.dep_chain, 63, "one 64-long run");
+    }
+
+    #[test]
+    fn random_like_keys_fully_diverge() {
+        // widely spread keys: every lane hits its own sector
+        let keys: Vec<u32> = (0..64).map(|i| i * 1000).collect();
+        let s = spec(&keys, &[0]);
+        let t = transaction_count(&s, 32, &[0], 32);
+        assert_eq!(t, 64);
+        let st = gather_stats(&s, 32);
+        assert_eq!(st.conflicts, 0);
+    }
+
+    #[test]
+    fn stencil_multiplies_transactions() {
+        let keys: Vec<u32> = (100..164).collect();
+        let five: [i64; 5] = [0, -1, 1, -32, 32];
+        let s = spec(&keys, &five);
+        let t1 = transaction_count(&s, 32, &[0], 32);
+        let t5 = transaction_count(&s, 32, &five, 32);
+        assert!(t5 > t1 * 3, "five offsets touch more sectors: {t5} vs {t1}");
+    }
+
+    #[test]
+    fn stencil_clamps_at_boundaries() {
+        let keys = vec![0u32, 1];
+        let s = GatherScatterSpec { table_len: 4, ..spec(&keys, &[0]) };
+        assert_eq!(s.stencil_index(0, -5), 0);
+        assert_eq!(s.stencil_index(1, 100), 3);
+        assert_eq!(s.stencil_index(1, 1), 2);
+    }
+
+    #[test]
+    fn useful_bytes_counts_logical_traffic() {
+        let keys: Vec<u32> = (0..10).collect();
+        let s = spec(&keys, &[0]); // atomic: gather + RMW scatter, 8B stream
+        assert_eq!(s.useful_bytes(), 10.0 * 8.0 + 10.0 * 3.0 * 8.0);
+        let g = GatherScatterSpec { atomic: false, ..spec(&keys, &[0]) };
+        assert_eq!(g.useful_bytes(), 10.0 * 8.0 + 10.0 * 8.0);
+    }
+
+    #[test]
+    fn kernel_cost_takes_max_and_names_bottleneck() {
+        let c = KernelCost {
+            t_dram: 2.0,
+            t_llc: 1.0,
+            t_issue: 0.5,
+            t_atomic: 3.0,
+            t_latency: 0.1,
+            t_compute: 0.2,
+            useful_bytes: 6.0e9,
+            flops: 3.0e9,
+            dram_bytes: 1.0e9,
+            ..Default::default()
+        }
+        .finish();
+        assert_eq!(c.time, 3.0);
+        assert_eq!(c.bottleneck(), "atomics");
+        assert_eq!(c.bandwidth(), 2.0e9);
+        assert_eq!(c.gflops(), 1.0);
+        assert_eq!(c.arithmetic_intensity(), 3.0);
+    }
+
+    #[test]
+    fn dep_chain_counts_runs_not_total_duplicates() {
+        let keys = vec![5u32, 5, 5, 9, 5, 5];
+        let s = spec(&keys, &[0]);
+        let st = scatter_stats(&s, 32);
+        // runs: 5,5,5 (2 steps) and 5,5 (1 step)
+        assert_eq!(st.dep_chain, 3);
+    }
+}

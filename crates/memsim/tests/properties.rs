@@ -1,0 +1,129 @@
+//! Property tests for the hardware model's invariants.
+
+use memsim::cache::CacheSim;
+use memsim::platform;
+use memsim::trace::{transaction_count, GatherScatterSpec};
+use memsim::{CpuModel, GpuModel};
+use proptest::prelude::*;
+
+fn keys_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..512, 1..400)
+}
+
+proptest! {
+    /// Cache hits + misses always equals accesses; hit rate in [0, 1].
+    #[test]
+    fn cache_accounting_is_exact(
+        lines in prop::collection::vec(0u64..256, 1..500),
+        capacity_kb in 1u64..64,
+        assoc in 1usize..16,
+    ) {
+        let mut c = CacheSim::new(capacity_kb * 1024, assoc, 64);
+        for &l in &lines {
+            c.access_line(l);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.total(), lines.len() as u64);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+        // writebacks never exceed write accesses (here: zero writes)
+        prop_assert_eq!(c.total_writebacks(), 0);
+    }
+
+    /// A larger cache never produces more misses on the same trace
+    /// (fully-associative comparison; LRU anomalies need set conflicts).
+    #[test]
+    fn bigger_fully_assoc_cache_never_misses_more(
+        lines in prop::collection::vec(0u64..128, 1..300),
+    ) {
+        let run = |cap_lines: u64| {
+            let mut c = CacheSim::new(cap_lines * 64, cap_lines as usize, 64);
+            for &l in &lines {
+                c.access_line(l);
+            }
+            c.stats().misses
+        };
+        prop_assert!(run(64) <= run(16), "LRU is a stack algorithm");
+        prop_assert!(run(128) <= run(64));
+    }
+
+    /// Writeback traffic is bounded by write accesses.
+    #[test]
+    fn writebacks_bounded_by_writes(
+        ops in prop::collection::vec((0u64..128, any::<bool>()), 1..300),
+    ) {
+        let mut c = CacheSim::new(16 * 64, 4, 64);
+        let mut writes = 0u64;
+        for &(line, is_write) in &ops {
+            if is_write {
+                c.access_line_write(line);
+                writes += 1;
+            } else {
+                c.access_line(line);
+            }
+        }
+        prop_assert!(c.total_writebacks() <= writes);
+    }
+
+    /// Transaction counts are bounded: between groups and lanes×groups.
+    #[test]
+    fn transactions_bounded(keys in keys_strategy()) {
+        let spec = GatherScatterSpec {
+            keys: &keys,
+            table_len: 512,
+            elem_bytes: 8,
+            stencil: &[0],
+            stream_bytes: 8.0,
+            flops: 1.0,
+            atomic: true,
+        };
+        let groups = keys.len().div_ceil(32) as u64;
+        let t = transaction_count(&spec, 32, &[0], 32);
+        prop_assert!(t >= groups, "at least one transaction per warp");
+        prop_assert!(t <= keys.len() as u64, "at most one per lane");
+    }
+
+    /// Model costs are finite, positive, and respect the bandwidth bound:
+    /// useful bytes / time never exceeds a few × spec DRAM bandwidth.
+    #[test]
+    fn model_costs_are_sane(keys in keys_strategy(), gpu in any::<bool>()) {
+        let spec = GatherScatterSpec {
+            keys: &keys,
+            table_len: 512,
+            elem_bytes: 8,
+            stencil: &[0],
+            stream_bytes: 8.0,
+            flops: 3.0,
+            atomic: true,
+        };
+        let (cost, bw_limit) = if gpu {
+            let p = platform::by_name("A100").unwrap();
+            (GpuModel::new(p.clone()).run(&spec), p.dram_bw)
+        } else {
+            let p = platform::by_name("EPYC 7763").unwrap();
+            (CpuModel::new(p.clone()).run(&spec), p.dram_bw)
+        };
+        prop_assert!(cost.time > 0.0 && cost.time.is_finite());
+        prop_assert!(cost.dram_bytes >= 0.0);
+        // logical bandwidth can exceed DRAM via cache reuse, but not
+        // unboundedly: LLC bandwidth is the ceiling
+        prop_assert!(cost.bandwidth() < 50.0 * bw_limit, "{}", cost.bandwidth());
+    }
+
+    /// The same trace costs (weakly) more on a platform with strictly
+    /// lower bandwidth everywhere (V100 vs H100).
+    #[test]
+    fn slower_platform_is_never_faster(keys in keys_strategy()) {
+        let spec = GatherScatterSpec {
+            keys: &keys,
+            table_len: 512,
+            elem_bytes: 8,
+            stencil: &[0],
+            stream_bytes: 8.0,
+            flops: 3.0,
+            atomic: false,
+        };
+        let h100 = GpuModel::new(platform::by_name("H100").unwrap()).run(&spec);
+        let v100 = GpuModel::new(platform::by_name("V100").unwrap()).run(&spec);
+        prop_assert!(v100.time >= h100.time * 0.99);
+    }
+}

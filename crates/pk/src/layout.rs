@@ -1,0 +1,121 @@
+//! Memory layouts for multi-dimensional [views](crate::view).
+//!
+//! Mirrors `Kokkos::LayoutRight` / `Kokkos::LayoutLeft`. The layout is a
+//! runtime value rather than a type parameter so that the same kernel code
+//! can be benchmarked against both layouts (the paper's memory-layout
+//! discussion, §2.3) without monomorphization tricks.
+
+/// How a multi-dimensional index maps onto linear memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// C / row-major order: the **last** index is stride-1.
+    ///
+    /// Kokkos calls this `LayoutRight`; it is the default for host (CPU)
+    /// views because a thread iterating the last index walks contiguous
+    /// memory.
+    #[default]
+    Right,
+    /// Fortran / column-major order: the **first** index is stride-1.
+    ///
+    /// Kokkos calls this `LayoutLeft`; it is the default for device (GPU)
+    /// views because consecutive *threads* indexing consecutive first
+    /// indices produce coalesced accesses.
+    Left,
+}
+
+impl Layout {
+    /// Strides for a 2-D extent `(n0, n1)` under this layout.
+    #[inline]
+    pub fn strides2(self, n0: usize, n1: usize) -> (usize, usize) {
+        match self {
+            Layout::Right => (n1, 1),
+            Layout::Left => (1, n0),
+        }
+    }
+
+    /// Strides for a 3-D extent `(n0, n1, n2)` under this layout.
+    #[inline]
+    pub fn strides3(self, n0: usize, n1: usize, n2: usize) -> (usize, usize, usize) {
+        match self {
+            Layout::Right => (n1 * n2, n2, 1),
+            Layout::Left => (1, n0, n0 * n1),
+        }
+    }
+
+    /// Linear offset of `(i, j)` in a 2-D view of extent `(n0, n1)`.
+    #[inline(always)]
+    pub fn offset2(self, i: usize, j: usize, n0: usize, n1: usize) -> usize {
+        let (s0, s1) = self.strides2(n0, n1);
+        i * s0 + j * s1
+    }
+
+    /// Linear offset of `(i, j, k)` in a 3-D view of extent `(n0, n1, n2)`.
+    #[inline(always)]
+    pub fn offset3(self, i: usize, j: usize, k: usize, n0: usize, n1: usize, n2: usize) -> usize {
+        let (s0, s1, s2) = self.strides3(n0, n1, n2);
+        i * s0 + j * s1 + k * s2
+    }
+
+    /// The layout Kokkos would pick for a host execution space.
+    #[inline]
+    pub fn host_default() -> Self {
+        Layout::Right
+    }
+
+    /// The layout Kokkos would pick for a device execution space.
+    #[inline]
+    pub fn device_default() -> Self {
+        Layout::Left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn right_layout_last_index_is_contiguous() {
+        let l = Layout::Right;
+        assert_eq!(l.offset2(0, 0, 3, 4), 0);
+        assert_eq!(l.offset2(0, 1, 3, 4), 1);
+        assert_eq!(l.offset2(1, 0, 3, 4), 4);
+        assert_eq!(l.offset3(0, 0, 1, 2, 3, 4), 1);
+        assert_eq!(l.offset3(0, 1, 0, 2, 3, 4), 4);
+        assert_eq!(l.offset3(1, 0, 0, 2, 3, 4), 12);
+    }
+
+    #[test]
+    fn left_layout_first_index_is_contiguous() {
+        let l = Layout::Left;
+        assert_eq!(l.offset2(1, 0, 3, 4), 1);
+        assert_eq!(l.offset2(0, 1, 3, 4), 3);
+        assert_eq!(l.offset3(1, 0, 0, 2, 3, 4), 1);
+        assert_eq!(l.offset3(0, 1, 0, 2, 3, 4), 2);
+        assert_eq!(l.offset3(0, 0, 1, 2, 3, 4), 6);
+    }
+
+    #[test]
+    fn offsets_cover_full_extent_bijectively() {
+        for layout in [Layout::Right, Layout::Left] {
+            let (n0, n1, n2) = (3, 4, 5);
+            let mut seen = vec![false; n0 * n1 * n2];
+            for i in 0..n0 {
+                for j in 0..n1 {
+                    for k in 0..n2 {
+                        let off = layout.offset3(i, j, k, n0, n1, n2);
+                        assert!(!seen[off], "layout {layout:?} not injective at {off}");
+                        seen[off] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn defaults_match_kokkos_convention() {
+        assert_eq!(Layout::host_default(), Layout::Right);
+        assert_eq!(Layout::device_default(), Layout::Left);
+        assert_eq!(Layout::default(), Layout::Right);
+    }
+}

@@ -1,0 +1,85 @@
+//! # pk — Portability Kernels
+//!
+//! A Kokkos-analog performance-portability layer in Rust. This crate provides
+//! the abstractions that the rest of the VPIC 2.0 reproduction is written
+//! against, mirroring the role Kokkos plays in the paper:
+//!
+//! * **Views** ([`View1`], [`View2`], [`View3`]) — multi-dimensional arrays
+//!   with a runtime memory [`Layout`] (`LayoutRight` = C order, `LayoutLeft`
+//!   = Fortran order), mirroring `Kokkos::View`.
+//! * **Execution spaces** ([`Serial`], [`Threads`]) — pluggable backends for
+//!   the parallel patterns, mirroring `Kokkos::Serial` / `Kokkos::OpenMP`.
+//!   The GPU "backend" of this reproduction is the `memsim` crate, which
+//!   executes the same kernels functionally while modelling device memory
+//!   behaviour.
+//! * **Parallel patterns** — [`parallel_for`], [`parallel_for_mut`],
+//!   [`parallel_reduce`], [`parallel_scan`], and hierarchical
+//!   [`team::parallel_for_team`], mirroring `Kokkos::parallel_for` et al.
+//! * **Atomics** ([`atomic`]) — floating-point `fetch_add` via CAS loops and
+//!   a [`atomic::ScatterBuf`] for contended scatter phases (current
+//!   deposition), mirroring `Kokkos::atomic_add` / `ScatterView`.
+//! * **Sorting** ([`sort`]) — a `sort_by_key` plus the `min_max` and
+//!   histogram primitives the paper's Algorithms 1 and 2 need, mirroring
+//!   `Kokkos::Experimental::sort_by_key` / `Kokkos::MinMax`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pk::prelude::*;
+//!
+//! let space = Serial;
+//! let mut y = vec![0.0f64; 1024];
+//! let x: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+//! // y = 2x  (a trivial parallel_for)
+//! space.parallel_for_mut(&mut y, |i, yi| *yi = 2.0 * x[i]);
+//! let total: f64 = space.parallel_reduce(0..1024, Sum::<f64>::new(), |i| y[i]);
+//! assert_eq!(total, 2.0 * (1023.0 * 1024.0 / 2.0));
+//! ```
+
+pub mod atomic;
+pub mod layout;
+pub mod mdrange;
+pub mod parallel;
+pub mod range;
+pub mod reduce;
+pub mod sort;
+pub mod space;
+pub mod team;
+pub mod view;
+
+pub use layout::Layout;
+pub use mdrange::{parallel_for_2d, parallel_for_3d, MDRange2, MDRange3};
+pub use parallel::{parallel_for, parallel_for_mut, parallel_reduce, parallel_scan};
+pub use range::{RangePolicy, Schedule};
+pub use reduce::{Max, Min, MinMax, Prod, Reducer, Sum};
+pub use space::{ExecSpace, Serial, Threads};
+pub use view::{View1, View2, View3};
+
+/// Convenience prelude: `use pk::prelude::*;`.
+pub mod prelude {
+    pub use crate::atomic::{AtomicF32Buf, AtomicF64Buf, ScatterBuf};
+    pub use crate::layout::Layout;
+    pub use crate::mdrange::{parallel_for_2d, parallel_for_3d, MDRange2, MDRange3};
+    pub use crate::parallel::{parallel_for, parallel_for_mut, parallel_reduce, parallel_scan};
+    pub use crate::range::{RangePolicy, Schedule};
+    pub use crate::reduce::{Max, Min, MinMax, Prod, Reducer, Sum};
+    pub use crate::sort::{apply_permutation, min_max, sort_by_key, sort_permutation};
+    pub use crate::space::{ExecSpace, Serial, Threads};
+    pub use crate::team::{TeamMember, TeamPolicy};
+    pub use crate::view::{View1, View2, View3};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn doc_example_holds() {
+        let space = Serial;
+        let mut y = vec![0.0f64; 16];
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        space.parallel_for_mut(&mut y, |i, yi| *yi = 2.0 * x[i]);
+        let total: f64 = space.parallel_reduce(0..16, Sum::<f64>::new(), |i| y[i]);
+        assert_eq!(total, 2.0 * (15.0 * 16.0 / 2.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-dimensional range policies, mirroring `Kokkos::MDRangePolicy`.
+//!
+//! Field kernels (the FDTD advance, interpolator loads) iterate 3-D cell
+//! index space; an MDRange policy tiles that space and dispatches tiles
+//! to the execution space, preserving spatial locality within a tile.
+
+use crate::range::RangePolicy;
+use crate::space::ExecSpace;
+
+/// A 2-D iteration space with tiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MDRange2 {
+    /// Extent along the first (slow) dimension.
+    pub n0: usize,
+    /// Extent along the second (fast) dimension.
+    pub n1: usize,
+    /// Tile shape.
+    pub tile: (usize, usize),
+}
+
+impl MDRange2 {
+    /// Policy over `(0..n0) × (0..n1)` with a default 8×64 tile.
+    pub fn new(n0: usize, n1: usize) -> Self {
+        Self { n0, n1, tile: (8, 64) }
+    }
+
+    /// Override the tile shape (each component ≥ 1).
+    pub fn with_tile(mut self, t0: usize, t1: usize) -> Self {
+        self.tile = (t0.max(1), t1.max(1));
+        self
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.n0.div_ceil(self.tile.0) * self.n1.div_ceil(self.tile.1)
+    }
+}
+
+/// A 3-D iteration space with tiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MDRange3 {
+    /// Extent along the slowest dimension.
+    pub n0: usize,
+    /// Middle extent.
+    pub n1: usize,
+    /// Fastest extent.
+    pub n2: usize,
+    /// Tile shape.
+    pub tile: (usize, usize, usize),
+}
+
+impl MDRange3 {
+    /// Policy over the full box with a default 4×8×32 tile.
+    pub fn new(n0: usize, n1: usize, n2: usize) -> Self {
+        Self { n0, n1, n2, tile: (4, 8, 32) }
+    }
+
+    /// Override the tile shape.
+    pub fn with_tile(mut self, t0: usize, t1: usize, t2: usize) -> Self {
+        self.tile = (t0.max(1), t1.max(1), t2.max(1));
+        self
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.n0.div_ceil(self.tile.0)
+            * self.n1.div_ceil(self.tile.1)
+            * self.n2.div_ceil(self.tile.2)
+    }
+}
+
+/// `parallel_for` over a tiled 2-D index space: `f(i, j)` for every pair,
+/// tiles distributed over the space's workers.
+pub fn parallel_for_2d<S: ExecSpace>(space: &S, policy: &MDRange2, f: impl Fn(usize, usize) + Sync) {
+    let (t0, t1) = policy.tile;
+    let tiles1 = policy.n1.div_ceil(t1);
+    let total = policy.tiles();
+    space.parallel_for(RangePolicy::new(total), |tile| {
+        let b0 = (tile / tiles1) * t0;
+        let b1 = (tile % tiles1) * t1;
+        for i in b0..(b0 + t0).min(policy.n0) {
+            for j in b1..(b1 + t1).min(policy.n1) {
+                f(i, j);
+            }
+        }
+    });
+}
+
+/// `parallel_for` over a tiled 3-D index space.
+pub fn parallel_for_3d<S: ExecSpace>(
+    space: &S,
+    policy: &MDRange3,
+    f: impl Fn(usize, usize, usize) + Sync,
+) {
+    let (t0, t1, t2) = policy.tile;
+    let tiles1 = policy.n1.div_ceil(t1);
+    let tiles2 = policy.n2.div_ceil(t2);
+    let total = policy.tiles();
+    space.parallel_for(RangePolicy::new(total), |tile| {
+        let b0 = (tile / (tiles1 * tiles2)) * t0;
+        let b1 = ((tile / tiles2) % tiles1) * t1;
+        let b2 = (tile % tiles2) * t2;
+        for i in b0..(b0 + t0).min(policy.n0) {
+            for j in b1..(b1 + t1).min(policy.n1) {
+                for k in b2..(b2 + t2).min(policy.n2) {
+                    f(i, j, k);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Serial, Threads};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn md2_visits_every_pair_once() {
+        let policy = MDRange2::new(13, 29).with_tile(4, 8);
+        let hits: Vec<AtomicU32> = (0..13 * 29).map(|_| AtomicU32::new(0)).collect();
+        parallel_for_2d(&Threads::new(3), &policy, |i, j| {
+            hits[i * 29 + j].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn md3_visits_every_triple_once() {
+        let policy = MDRange3::new(5, 7, 11).with_tile(2, 3, 4);
+        let n = 5 * 7 * 11;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        parallel_for_3d(&Serial, &policy, |i, j, k| {
+            hits[(i * 7 + j) * 11 + k].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn tile_counts() {
+        assert_eq!(MDRange2::new(16, 64).with_tile(8, 64).tiles(), 2);
+        assert_eq!(MDRange2::new(17, 65).with_tile(8, 64).tiles(), 3 * 2);
+        assert_eq!(MDRange3::new(8, 8, 8).with_tile(4, 4, 4).tiles(), 8);
+    }
+
+    #[test]
+    fn degenerate_tiles_clamped() {
+        let p = MDRange3::new(4, 4, 4).with_tile(0, 0, 0);
+        assert_eq!(p.tile, (1, 1, 1));
+        assert_eq!(p.tiles(), 64);
+    }
+
+    #[test]
+    fn empty_extent_runs_nothing() {
+        let policy = MDRange2::new(0, 10);
+        let count = AtomicU32::new(0);
+        parallel_for_2d(&Serial, &policy, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Free-function forms of the parallel patterns.
+//!
+//! Kokkos exposes `Kokkos::parallel_for(policy, functor)` as free functions
+//! that dispatch on the policy's execution space; these wrappers provide the
+//! same call style over any [`ExecSpace`].
+
+use crate::range::RangePolicy;
+use crate::reduce::{Reducer, Scalar};
+use crate::space::ExecSpace;
+
+/// Invoke `f(i)` for each index of `policy` on `space`.
+pub fn parallel_for<S: ExecSpace, P: Into<RangePolicy>>(
+    space: &S,
+    policy: P,
+    f: impl Fn(usize) + Sync,
+) {
+    space.parallel_for(policy, f)
+}
+
+/// Invoke `f(i, &mut data[i])` for every element on `space`.
+pub fn parallel_for_mut<S: ExecSpace, T: Send>(
+    space: &S,
+    data: &mut [T],
+    f: impl Fn(usize, &mut T) + Sync,
+) {
+    space.parallel_for_mut(data, f)
+}
+
+/// Reduce `f(i)` over the policy's range with `reducer` on `space`.
+pub fn parallel_reduce<S: ExecSpace, P: Into<RangePolicy>, R: Reducer>(
+    space: &S,
+    policy: P,
+    reducer: R,
+    f: impl Fn(usize) -> R::Value + Sync,
+) -> R::Value {
+    space.parallel_reduce(policy, reducer, f)
+}
+
+/// Exclusive prefix-sum `input` into `out` on `space`, returning the total.
+pub fn parallel_scan<S: ExecSpace, T: Scalar>(space: &S, input: &[T], out: &mut [T]) -> T {
+    space.parallel_scan(input, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::Sum;
+    use crate::space::{Serial, Threads};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn free_functions_delegate() {
+        let s = Serial;
+        let count = AtomicUsize::new(0);
+        parallel_for(&s, 10usize, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+
+        let mut v = vec![0usize; 5];
+        parallel_for_mut(&s, &mut v, |i, x| *x = i + 1);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+
+        let total = parallel_reduce(&s, 5usize, Sum::<usize>::new(), |i| v[i]);
+        assert_eq!(total, 15);
+
+        let mut scan = vec![0usize; 5];
+        let tot = parallel_scan(&s, &v, &mut scan);
+        assert_eq!(scan, vec![0, 1, 3, 6, 10]);
+        assert_eq!(tot, 15);
+    }
+
+    #[test]
+    fn free_functions_work_on_threads_space() {
+        let t = Threads::new(2);
+        let mut v = vec![0u64; 100];
+        parallel_for_mut(&t, &mut v, |i, x| *x = i as u64);
+        let total = parallel_reduce(&t, 100usize, Sum::<u64>::new(), |i| v[i]);
+        assert_eq!(total, 99 * 100 / 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Range policies: how an index range is partitioned across workers.
+//!
+//! Mirrors `Kokkos::RangePolicy` with static/dynamic schedules
+//! (`Kokkos::Schedule<Static>` / `Kokkos::Schedule<Dynamic>`).
+
+use std::ops::Range;
+
+/// Work-distribution schedule for a [`RangePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Each worker gets one contiguous block (lowest overhead, best
+    /// locality; Kokkos default on CPU backends).
+    #[default]
+    Static,
+    /// Workers pull fixed-size chunks from a shared counter (load balance
+    /// for irregular iterations, e.g. variable particles per cell).
+    Dynamic,
+}
+
+/// An iteration range plus scheduling hints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePolicy {
+    /// Half-open iteration range.
+    pub range: Range<usize>,
+    /// Work-distribution schedule.
+    pub schedule: Schedule,
+    /// Chunk size for [`Schedule::Dynamic`]; `0` means "auto" (range length
+    /// divided by 8× the worker count, at least 1).
+    pub chunk: usize,
+}
+
+impl RangePolicy {
+    /// Policy over `0..n` with the default static schedule.
+    pub fn new(n: usize) -> Self {
+        Self { range: 0..n, schedule: Schedule::Static, chunk: 0 }
+    }
+
+    /// Policy over an explicit half-open range.
+    pub fn over(range: Range<usize>) -> Self {
+        Self { range, schedule: Schedule::Static, chunk: 0 }
+    }
+
+    /// Switch to a dynamic schedule with the given chunk size (`0` = auto).
+    pub fn dynamic(mut self, chunk: usize) -> Self {
+        self.schedule = Schedule::Dynamic;
+        self.chunk = chunk;
+        self
+    }
+
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolve the chunk size for `workers` workers.
+    pub fn effective_chunk(&self, workers: usize) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            (self.len() / (workers.max(1) * 8)).max(1)
+        }
+    }
+
+    /// Split the range into `parts` near-equal contiguous blocks (static
+    /// schedule). Returns exactly `min(parts, len)` non-empty blocks.
+    pub fn static_blocks(&self, parts: usize) -> Vec<Range<usize>> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let parts = parts.max(1).min(n);
+        let base = n / parts;
+        let rem = n % parts;
+        let mut blocks = Vec::with_capacity(parts);
+        let mut start = self.range.start;
+        for p in 0..parts {
+            let sz = base + usize::from(p < rem);
+            blocks.push(start..start + sz);
+            start += sz;
+        }
+        debug_assert_eq!(start, self.range.end);
+        blocks
+    }
+}
+
+impl From<Range<usize>> for RangePolicy {
+    fn from(range: Range<usize>) -> Self {
+        RangePolicy::over(range)
+    }
+}
+
+impl From<usize> for RangePolicy {
+    fn from(n: usize) -> Self {
+        RangePolicy::new(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_exactly() {
+        let p = RangePolicy::over(3..103);
+        let blocks = p.static_blocks(7);
+        assert_eq!(blocks.len(), 7);
+        assert_eq!(blocks.first().unwrap().start, 3);
+        assert_eq!(blocks.last().unwrap().end, 103);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100);
+        // contiguous, non-overlapping
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // near-equal: sizes differ by at most 1
+        let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn static_blocks_never_empty() {
+        let p = RangePolicy::new(3);
+        let blocks = p.static_blocks(8);
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn empty_range_yields_no_blocks() {
+        let p = RangePolicy::new(0);
+        assert!(p.is_empty());
+        assert!(p.static_blocks(4).is_empty());
+    }
+
+    #[test]
+    fn effective_chunk_auto_and_explicit() {
+        let p = RangePolicy::new(1024).dynamic(0);
+        assert_eq!(p.effective_chunk(4), 1024 / 32);
+        let p = RangePolicy::new(1024).dynamic(100);
+        assert_eq!(p.effective_chunk(4), 100);
+        let tiny = RangePolicy::new(2).dynamic(0);
+        assert_eq!(tiny.effective_chunk(64), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: RangePolicy = 10usize.into();
+        assert_eq!(a.range, 0..10);
+        let b: RangePolicy = (5..9).into();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.schedule, Schedule::Static);
+    }
+}

@@ -1,0 +1,484 @@
+//! Execution spaces: where parallel patterns run.
+//!
+//! Mirrors `Kokkos::Serial` and `Kokkos::OpenMP`/`Kokkos::Threads`. The
+//! GPU execution space of this reproduction is *modelled* rather than real
+//! (see the `memsim` crate): kernels run functionally on the host while a
+//! hardware model accounts their memory behaviour.
+
+use crate::range::{RangePolicy, Schedule};
+use crate::reduce::{Reducer, Scalar};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A backend capable of executing the parallel patterns.
+///
+/// The two required primitives are [`ExecSpace::run_blocks`] (read-only
+/// index-space dispatch) and [`ExecSpace::run_chunks_mut`] (disjoint
+/// mutable-slice dispatch); everything else has default implementations in
+/// terms of them.
+pub trait ExecSpace: Sync {
+    /// Number of workers this space dispatches to (`Kokkos::concurrency()`).
+    fn concurrency(&self) -> usize;
+
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Execute `f` over contiguous sub-ranges that exactly partition the
+    /// policy's range. Blocks may run concurrently.
+    fn run_blocks(&self, policy: &RangePolicy, f: &(dyn Fn(Range<usize>) + Sync));
+
+    /// Split `data` into `parts` near-equal contiguous chunks and run
+    /// `f(offset, chunk)` for each, possibly concurrently. `offset` is the
+    /// index of the chunk's first element within `data`.
+    fn run_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        parts: usize,
+        f: &(dyn Fn(usize, &mut [T]) + Sync),
+    );
+
+    /// Reduce per-block partial values with `reducer.join`.
+    ///
+    /// Each block folds sequentially from the reducer identity, then the
+    /// partials are joined in block order, so results are deterministic for
+    /// a fixed space/worker count (the Kokkos guarantee).
+    fn reduce_blocks<R: Reducer>(
+        &self,
+        policy: &RangePolicy,
+        reducer: &R,
+        f: &(dyn Fn(Range<usize>) -> R::Value + Sync),
+    ) -> R::Value;
+
+    /// `Kokkos::parallel_for`: invoke `f(i)` for every index in the policy.
+    fn parallel_for<P: Into<RangePolicy>>(&self, policy: P, f: impl Fn(usize) + Sync) {
+        let policy = policy.into();
+        match policy.schedule {
+            Schedule::Static => {
+                self.run_blocks(&policy, &|block| {
+                    for i in block {
+                        f(i);
+                    }
+                });
+            }
+            Schedule::Dynamic => {
+                let chunk = policy.effective_chunk(self.concurrency());
+                let next = AtomicUsize::new(policy.range.start);
+                let end = policy.range.end;
+                // one "block" per worker; each pulls chunks dynamically
+                let workers = RangePolicy::new(self.concurrency());
+                self.run_blocks(&workers, &|_| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= end {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(end) {
+                        f(i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// `Kokkos::parallel_for` over a mutable slice: invoke
+    /// `f(i, &mut data[i])` for every element, with disjoint mutable access.
+    fn parallel_for_mut<T: Send>(&self, data: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        let parts = self.concurrency();
+        self.run_chunks_mut(data, parts, &|offset, chunk| {
+            for (k, item) in chunk.iter_mut().enumerate() {
+                f(offset + k, item);
+            }
+        });
+    }
+
+    /// Like [`ExecSpace::parallel_for_mut`] but hands each worker a whole
+    /// contiguous chunk (for kernels that want to vectorize internally).
+    fn parallel_for_chunks<T: Send>(
+        &self,
+        data: &mut [T],
+        parts: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        self.run_chunks_mut(data, parts, &f);
+    }
+
+    /// `Kokkos::parallel_reduce`: reduce `f(i)` over the policy's range.
+    fn parallel_reduce<P: Into<RangePolicy>, R: Reducer>(
+        &self,
+        policy: P,
+        reducer: R,
+        f: impl Fn(usize) -> R::Value + Sync,
+    ) -> R::Value {
+        let policy = policy.into();
+        self.reduce_blocks(&policy, &reducer, &|block| {
+            let mut acc = reducer.identity();
+            for i in block {
+                acc = reducer.join(acc, f(i));
+            }
+            acc
+        })
+    }
+
+    /// `Kokkos::parallel_scan`: exclusive prefix sum of `input` into `out`,
+    /// returning the grand total. `out.len()` must equal `input.len()`.
+    fn parallel_scan<T: Scalar>(&self, input: &[T], out: &mut [T]) -> T {
+        assert_eq!(input.len(), out.len(), "parallel_scan extent mismatch");
+        let n = input.len();
+        if n == 0 {
+            return T::ZERO;
+        }
+        let parts = self.concurrency().min(n);
+        let policy = RangePolicy::new(n);
+        let blocks = policy.static_blocks(parts);
+        // pass 1: per-block sums
+        let mut partials: Vec<T> = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            let mut s = T::ZERO;
+            for i in b.clone() {
+                s = s.add(input[i]);
+            }
+            partials.push(s);
+        }
+        // exclusive scan of partials (small, serial)
+        let mut offsets = Vec::with_capacity(partials.len());
+        let mut running = T::ZERO;
+        for &p in &partials {
+            offsets.push(running);
+            running = running.add(p);
+        }
+        // pass 2: per-block exclusive scan with offset, parallel over chunks
+        let starts: Vec<usize> = blocks.iter().map(|b| b.start).collect();
+        self.run_chunks_mut(out, parts, &|offset, chunk| {
+            let bi = starts
+                .binary_search(&offset)
+                .expect("chunk boundaries follow static blocks");
+            let mut acc = offsets[bi];
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = acc;
+                acc = acc.add(input[offset + k]);
+            }
+        });
+        running
+    }
+
+    /// `Kokkos::fence()` — all patterns here are synchronous, so this is a
+    /// no-op provided for API parity.
+    fn fence(&self) {}
+}
+
+/// The serial execution space (`Kokkos::Serial`): everything runs on the
+/// calling thread, in index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serial;
+
+impl ExecSpace for Serial {
+    fn concurrency(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "Serial"
+    }
+
+    fn run_blocks(&self, policy: &RangePolicy, f: &(dyn Fn(Range<usize>) + Sync)) {
+        if !policy.is_empty() {
+            f(policy.range.clone());
+        }
+    }
+
+    fn run_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        _parts: usize,
+        f: &(dyn Fn(usize, &mut [T]) + Sync),
+    ) {
+        if !data.is_empty() {
+            f(0, data);
+        }
+    }
+
+    fn reduce_blocks<R: Reducer>(
+        &self,
+        policy: &RangePolicy,
+        reducer: &R,
+        f: &(dyn Fn(Range<usize>) -> R::Value + Sync),
+    ) -> R::Value {
+        if policy.is_empty() {
+            reducer.identity()
+        } else {
+            f(policy.range.clone())
+        }
+    }
+}
+
+/// The host-threads execution space (`Kokkos::Threads`/`Kokkos::OpenMP`
+/// analog) built on crossbeam scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Threads {
+    workers: usize,
+}
+
+impl Threads {
+    /// A space with `workers` worker threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// A space sized to the machine's available parallelism.
+    pub fn hardware() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(workers)
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Self::hardware()
+    }
+}
+
+impl ExecSpace for Threads {
+    fn concurrency(&self) -> usize {
+        self.workers
+    }
+
+    fn name(&self) -> &'static str {
+        "Threads"
+    }
+
+    fn run_blocks(&self, policy: &RangePolicy, f: &(dyn Fn(Range<usize>) + Sync)) {
+        let blocks = policy.static_blocks(self.workers);
+        match blocks.len() {
+            0 => {}
+            1 => f(blocks[0].clone()),
+            _ => {
+                crossbeam::scope(|s| {
+                    // run the first block on the calling thread, the rest on workers
+                    for b in blocks.iter().skip(1).cloned() {
+                        s.spawn(move |_| f(b));
+                    }
+                    f(blocks[0].clone());
+                })
+                .expect("worker thread panicked");
+            }
+        }
+    }
+
+    fn run_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        parts: usize,
+        f: &(dyn Fn(usize, &mut [T]) + Sync),
+    ) {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let blocks = RangePolicy::new(n).static_blocks(parts.max(1));
+        if blocks.len() <= 1 {
+            f(0, data);
+            return;
+        }
+        // split the storage once, then execute chunks in waves of at most
+        // `workers` threads so parts ≫ workers cannot oversubscribe
+        let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(blocks.len());
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for b in &blocks {
+            let (head, tail) = rest.split_at_mut(b.len());
+            rest = tail;
+            chunks.push((consumed, head));
+            consumed += b.len();
+        }
+        for wave in chunks.chunks_mut(self.workers.max(1)) {
+            crossbeam::scope(|s| {
+                let mut iter = wave.iter_mut();
+                let first = iter.next();
+                for (off, head) in iter {
+                    let off = *off;
+                    let head: &mut [T] = head;
+                    s.spawn(move |_| f(off, head));
+                }
+                if let Some((off, head)) = first {
+                    f(*off, head);
+                }
+            })
+            .expect("worker thread panicked");
+        }
+    }
+
+    fn reduce_blocks<R: Reducer>(
+        &self,
+        policy: &RangePolicy,
+        reducer: &R,
+        f: &(dyn Fn(Range<usize>) -> R::Value + Sync),
+    ) -> R::Value {
+        let blocks = policy.static_blocks(self.workers);
+        match blocks.len() {
+            0 => reducer.identity(),
+            1 => f(blocks[0].clone()),
+            _ => {
+                let partials: Vec<R::Value> = crossbeam::scope(|s| {
+                    let handles: Vec<_> = blocks
+                        .iter()
+                        .skip(1)
+                        .cloned()
+                        .map(|b| s.spawn(move |_| f(b)))
+                        .collect();
+                    let mut vals = vec![f(blocks[0].clone())];
+                    for h in handles {
+                        vals.push(h.join().expect("reduce worker panicked"));
+                    }
+                    vals
+                })
+                .expect("worker thread panicked");
+                // join in deterministic block order
+                let mut acc = reducer.identity();
+                for v in partials {
+                    acc = reducer.join(acc, v);
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{Max, Min, MinMax, Sum};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn spaces() -> (Serial, Threads) {
+        (Serial, Threads::new(4))
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let (serial, threads) = spaces();
+        let n = 1000;
+        for run in 0..2 {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let f = |i: usize| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            };
+            if run == 0 {
+                serial.parallel_for(n, f);
+            } else {
+                threads.parallel_for(n, f);
+            }
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_for_dynamic_schedule_covers_range() {
+        let threads = Threads::new(3);
+        let n = 500;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        threads.parallel_for(RangePolicy::new(n).dynamic(7), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_mut_writes_by_global_index() {
+        let (serial, threads) = spaces();
+        let mut a = vec![0usize; 257];
+        serial.parallel_for_mut(&mut a, |i, v| *v = i * 2);
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i * 2));
+        let mut b = vec![0usize; 257];
+        threads.parallel_for_mut(&mut b, |i, v| *v = i * 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let (serial, threads) = spaces();
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let seq: f64 = data.iter().sum();
+        let s = serial.parallel_reduce(data.len(), Sum::<f64>::new(), |i| data[i]);
+        assert!((s - seq).abs() < 1e-9);
+        let t = threads.parallel_reduce(data.len(), Sum::<f64>::new(), |i| data[i]);
+        assert!((t - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_reduce_min_max_minmax() {
+        let threads = Threads::new(4);
+        let data: Vec<i64> = (0..999).map(|i| ((i * 7919) % 1543) as i64 - 500).collect();
+        let mn = threads.parallel_reduce(data.len(), Min::<i64>::new(), |i| data[i]);
+        let mx = threads.parallel_reduce(data.len(), Max::<i64>::new(), |i| data[i]);
+        let (lo, hi) =
+            threads.parallel_reduce(data.len(), MinMax::<i64>::new(), |i| (data[i], data[i]));
+        assert_eq!(mn, *data.iter().min().unwrap());
+        assert_eq!(mx, *data.iter().max().unwrap());
+        assert_eq!((lo, hi), (mn, mx));
+    }
+
+    #[test]
+    fn parallel_reduce_empty_range_is_identity() {
+        let (serial, threads) = spaces();
+        assert_eq!(serial.parallel_reduce(0usize, Sum::<u32>::new(), |_| 1), 0);
+        assert_eq!(threads.parallel_reduce(0usize, Sum::<u32>::new(), |_| 1), 0);
+    }
+
+    #[test]
+    fn parallel_scan_exclusive_prefix_sum() {
+        let (serial, threads) = spaces();
+        let input: Vec<u64> = (0..1000).map(|i| (i % 13) as u64).collect();
+        let mut expect = vec![0u64; input.len()];
+        let mut acc = 0u64;
+        for (i, &v) in input.iter().enumerate() {
+            expect[i] = acc;
+            acc += v;
+        }
+        let mut out_s = vec![0u64; input.len()];
+        let tot_s = serial.parallel_scan(&input, &mut out_s);
+        assert_eq!(out_s, expect);
+        assert_eq!(tot_s, acc);
+        let mut out_t = vec![0u64; input.len()];
+        let tot_t = threads.parallel_scan(&input, &mut out_t);
+        assert_eq!(out_t, expect);
+        assert_eq!(tot_t, acc);
+    }
+
+    #[test]
+    fn parallel_scan_empty_and_single() {
+        let serial = Serial;
+        let mut out: Vec<u32> = vec![];
+        assert_eq!(serial.parallel_scan(&[], &mut out), 0);
+        let mut out = vec![99u32];
+        assert_eq!(serial.parallel_scan(&[5], &mut out), 5);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn threads_space_reports_concurrency() {
+        assert_eq!(Threads::new(7).concurrency(), 7);
+        assert_eq!(Threads::new(0).concurrency(), 1);
+        assert_eq!(Serial.concurrency(), 1);
+        assert!(Threads::hardware().concurrency() >= 1);
+    }
+
+    #[test]
+    fn parallel_for_chunks_covers_disjointly() {
+        let threads = Threads::new(4);
+        let mut data = vec![0u8; 103];
+        threads.parallel_for_chunks(&mut data, 4, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn float_reduction_deterministic_per_space() {
+        let threads = Threads::new(4);
+        let data: Vec<f32> = (0..4096).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let a = threads.parallel_reduce(data.len(), Sum::<f32>::new(), |i| data[i]);
+        let b = threads.parallel_reduce(data.len(), Sum::<f32>::new(), |i| data[i]);
+        assert_eq!(a, b, "same space + worker count must reproduce bitwise");
+    }
+}

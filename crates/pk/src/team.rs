@@ -1,0 +1,164 @@
+//! Hierarchical (team) parallelism, mirroring `Kokkos::TeamPolicy`.
+//!
+//! A *league* of teams is distributed across workers; the members of one
+//! team execute on the same worker. This is the abstraction VPIC 2.0 uses
+//! for its particle-push loops: one team per cell (or per particle block)
+//! with the team's members striding the particles — on a GPU the team is a
+//! thread block, on a CPU it degenerates to a vectorizable inner loop.
+//!
+//! As in Kokkos host backends, members of a team run **sequentially** on
+//! one worker, so [`TeamMember::team_barrier`] is a no-op; code relying on
+//! concurrent progress *between* members of one team is out of contract
+//! (same contract as `Kokkos::Serial`).
+
+use crate::range::RangePolicy;
+use crate::space::ExecSpace;
+use std::ops::Range;
+
+/// League/team shape for hierarchical dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamPolicy {
+    /// Number of teams.
+    pub league_size: usize,
+    /// Members per team (GPU: threads per block; CPU: inner vector lanes).
+    pub team_size: usize,
+}
+
+impl TeamPolicy {
+    /// A policy with `league_size` teams of `team_size` members.
+    pub fn new(league_size: usize, team_size: usize) -> Self {
+        Self { league_size, team_size: team_size.max(1) }
+    }
+
+    /// Total number of member invocations.
+    pub fn total(&self) -> usize {
+        self.league_size * self.team_size
+    }
+}
+
+/// Identity of one team member inside a hierarchical dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct TeamMember {
+    /// This team's index within the league (`Kokkos: league_rank()`).
+    pub league_rank: usize,
+    /// This member's index within the team (`Kokkos: team_rank()`).
+    pub team_rank: usize,
+    /// Members per team.
+    pub team_size: usize,
+    /// Teams in the league.
+    pub league_size: usize,
+}
+
+impl TeamMember {
+    /// Indices of `0..n` owned by this member under a block-strided
+    /// split (`Kokkos::TeamThreadRange` analog): member `r` visits
+    /// `r, r+team_size, r+2*team_size, ...`.
+    ///
+    /// The stride-by-team_size pattern is exactly what makes GPU accesses
+    /// coalesce when data is in *strided sort* order (paper §3.2.1).
+    pub fn team_thread_range(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.team_rank..n).step_by(self.team_size)
+    }
+
+    /// Contiguous block of `0..n` owned by this member (CPU-friendly
+    /// split where each member walks consecutive memory).
+    pub fn team_block_range(&self, n: usize) -> Range<usize> {
+        let policy = RangePolicy::new(n);
+        let blocks = policy.static_blocks(self.team_size);
+        blocks.get(self.team_rank).cloned().unwrap_or(n..n)
+    }
+
+    /// Synchronize the team. Host backends execute members sequentially,
+    /// so this is a no-op (same as `Kokkos::Serial`).
+    #[inline(always)]
+    pub fn team_barrier(&self) {}
+}
+
+/// Dispatch `f` once per (league_rank, team_rank) pair; teams are spread
+/// across the space's workers, members of one team stay on one worker and
+/// run in rank order.
+pub fn parallel_for_team<S: ExecSpace>(
+    space: &S,
+    policy: TeamPolicy,
+    f: impl Fn(TeamMember) + Sync,
+) {
+    let TeamPolicy { league_size, team_size } = policy;
+    space.parallel_for(league_size, |league_rank| {
+        for team_rank in 0..team_size {
+            f(TeamMember { league_rank, team_rank, team_size, league_size });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Serial, Threads};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_member_invoked_exactly_once() {
+        let policy = TeamPolicy::new(5, 3);
+        let hits: Vec<AtomicUsize> = (0..policy.total()).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_team(&Threads::new(2), policy, |m| {
+            hits[m.league_rank * m.team_size + m.team_rank].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn team_thread_range_partitions_with_stride() {
+        let m0 = TeamMember { league_rank: 0, team_rank: 0, team_size: 4, league_size: 1 };
+        let m1 = TeamMember { league_rank: 0, team_rank: 1, team_size: 4, league_size: 1 };
+        let i0: Vec<usize> = m0.team_thread_range(10).collect();
+        let i1: Vec<usize> = m1.team_thread_range(10).collect();
+        assert_eq!(i0, vec![0, 4, 8]);
+        assert_eq!(i1, vec![1, 5, 9]);
+        // all members together cover 0..10 exactly once
+        let mut all: Vec<usize> = (0..4)
+            .flat_map(|r| {
+                TeamMember { league_rank: 0, team_rank: r, team_size: 4, league_size: 1 }
+                    .team_thread_range(10)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn team_block_range_partitions_contiguously() {
+        let team_size = 3;
+        let mut all = Vec::new();
+        for r in 0..team_size {
+            let m = TeamMember { league_rank: 0, team_rank: r, team_size, league_size: 1 };
+            all.extend(m.team_block_range(10));
+        }
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn team_block_range_excess_ranks_get_empty() {
+        let m = TeamMember { league_rank: 0, team_rank: 5, team_size: 8, league_size: 1 };
+        assert!(m.team_block_range(3).is_empty());
+    }
+
+    #[test]
+    fn serial_space_runs_in_rank_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        parallel_for_team(&Serial, TeamPolicy::new(2, 2), |m| {
+            order.lock().unwrap().push((m.league_rank, m.team_rank));
+        });
+        assert_eq!(
+            order.into_inner().unwrap(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+    }
+
+    #[test]
+    fn team_size_zero_clamped_to_one() {
+        let p = TeamPolicy::new(4, 0);
+        assert_eq!(p.team_size, 1);
+        assert_eq!(p.total(), 4);
+    }
+}

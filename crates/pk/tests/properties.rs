@@ -1,0 +1,140 @@
+//! Property-based tests for the portability layer's core invariants.
+
+use pk::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Both layouts of a View2 store the same logical content.
+    #[test]
+    fn view2_layout_independence(n0 in 1usize..12, n1 in 1usize..12, seed in any::<u64>()) {
+        let mut r = View2::<u64>::new("r", n0, n1, Layout::Right);
+        let mut l = View2::<u64>::new("l", n0, n1, Layout::Left);
+        let mut s = seed;
+        for i in 0..n0 {
+            for j in 0..n1 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                r[(i, j)] = s;
+                l[(i, j)] = s;
+            }
+        }
+        for i in 0..n0 {
+            for j in 0..n1 {
+                prop_assert_eq!(r[(i, j)], l[(i, j)]);
+            }
+        }
+    }
+
+    /// sort_by_key output is sorted and a permutation of the input pairs.
+    #[test]
+    fn sort_by_key_is_sorted_permutation(pairs in prop::collection::vec((0u64..50, any::<i32>()), 0..200)) {
+        let mut keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let mut vals: Vec<i32> = pairs.iter().map(|p| p.1).collect();
+        sort_by_key(&mut keys, &mut vals);
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut got: Vec<(u64, i32)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+        let mut want = pairs.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// sort_by_key is stable: equal keys keep their input order.
+    #[test]
+    fn sort_by_key_is_stable(keys_in in prop::collection::vec(0u64..8, 1..150)) {
+        let mut keys = keys_in.clone();
+        let mut vals: Vec<usize> = (0..keys.len()).collect();
+        sort_by_key(&mut keys, &mut vals);
+        for w in vals.windows(2).zip(keys.windows(2)) {
+            let (v, k) = w;
+            if k[0] == k[1] {
+                prop_assert!(v[0] < v[1], "equal keys reordered: {:?}", v);
+            }
+        }
+    }
+
+    /// apply_permutation and permute_in_place agree for any valid permutation.
+    #[test]
+    fn permutation_apply_equivalence(n in 1usize..100, seed in any::<u64>()) {
+        // build a deterministic pseudo-random permutation via keyed sort
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(seed | 1).rotate_left(17))
+            .collect();
+        let perm = sort_permutation(&keys);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let gathered = apply_permutation(&perm, &values);
+        let mut inplace = values.clone();
+        pk::sort::permute_in_place(&perm, &mut inplace);
+        prop_assert_eq!(gathered, inplace);
+    }
+
+    /// Parallel reductions on Threads equal sequential folds (exact for ints).
+    #[test]
+    fn threads_reduce_matches_sequential(data in prop::collection::vec(any::<i32>(), 0..500), workers in 1usize..6) {
+        let t = Threads::new(workers);
+        let sum = t.parallel_reduce(data.len(), Sum::<i64>::new(), |i| data[i] as i64);
+        let want: i64 = data.iter().map(|&v| v as i64).sum();
+        prop_assert_eq!(sum, want);
+        if !data.is_empty() {
+            let mn = t.parallel_reduce(data.len(), Min::<i32>::new(), |i| data[i]);
+            prop_assert_eq!(mn, *data.iter().min().unwrap());
+        }
+    }
+
+    /// parallel_scan is the exclusive prefix sum for any worker count.
+    #[test]
+    fn scan_matches_reference(data in prop::collection::vec(0u64..1000, 0..300), workers in 1usize..6) {
+        let t = Threads::new(workers);
+        let mut out = vec![0u64; data.len()];
+        let total = t.parallel_scan(&data, &mut out);
+        let mut acc = 0u64;
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(out[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    /// min_max agrees with the standard library on any float data.
+    #[test]
+    fn min_max_matches_std(data in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let got = min_max(&Serial, &data).unwrap();
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(got, (lo, hi));
+    }
+
+    /// Histogram totals the input length and counts every key.
+    #[test]
+    fn histogram_is_exact(keys in prop::collection::vec(3u64..40, 0..300)) {
+        let h = pk::sort::histogram(&keys, 3, 39);
+        prop_assert_eq!(h.iter().map(|&c| c as usize).sum::<usize>(), keys.len());
+        for (i, &c) in h.iter().enumerate() {
+            let k = 3 + i as u64;
+            prop_assert_eq!(c as usize, keys.iter().filter(|&&x| x == k).count());
+        }
+    }
+
+    /// ScatterBuf modes agree with each other and with a serial fold.
+    #[test]
+    fn scatter_modes_agree_with_serial(
+        updates in prop::collection::vec((0usize..16, -100i32..100), 0..300),
+        workers in 1usize..5,
+    ) {
+        let t = Threads::new(workers);
+        let mut want = vec![0.0f64; 16];
+        for &(slot, v) in &updates {
+            want[slot] += v as f64;
+        }
+        for mode in [pk::atomic::ScatterMode::Atomic, pk::atomic::ScatterMode::Duplicated] {
+            let buf = ScatterBuf::new(16, workers, mode);
+            t.parallel_for(updates.len(), |i| {
+                let (slot, v) = updates[i];
+                buf.add(i % workers, slot, v as f64);
+            });
+            let got = buf.collect();
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-9, "mode {mode:?}: {g} vs {w}");
+            }
+        }
+    }
+}

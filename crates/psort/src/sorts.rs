@@ -1,0 +1,286 @@
+//! The sorting algorithms: standard, strided (Algorithm 1), tiled strided
+//! (Algorithm 2), and the random baseline.
+//!
+//! Every function here reorders a key slice and a value slice *in tandem*
+//! and costs O(N) key rewriting plus one `sort_by_key` (exactly the
+//! paper's §4.3 structure: "The adjustment of the keys is O(N). Once the
+//! new keys are generated, we use the parallel sort_by_key function").
+
+use crate::order::SortOrder;
+use pk::sort::{apply_permutation, histogram, min_max, permute_in_place, sort_permutation};
+use pk::space::Serial;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Reorder `(keys, values)` by `order` (dispatcher over the algorithms).
+pub fn sort_pairs<V>(order: SortOrder, keys: &mut [u32], values: &mut [V]) {
+    match order {
+        SortOrder::Random => random_order(0xC0FFEE, keys, values),
+        SortOrder::Standard => standard_sort(keys, values),
+        SortOrder::Strided => strided_sort(keys, values),
+        SortOrder::TiledStrided { tile } => tiled_strided_sort(tile, keys, values),
+    }
+}
+
+/// Standard classification: stable ascending sort by key.
+pub fn standard_sort<V>(keys: &mut [u32], values: &mut [V]) {
+    assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
+    let perm = sort_permutation(keys);
+    permute_in_place(&perm, keys);
+    permute_in_place(&perm, values);
+}
+
+/// Deterministic shuffle (Fisher–Yates with a fixed-seed ChaCha stream).
+pub fn random_order<V>(seed: u64, keys: &mut [u32], values: &mut [V]) {
+    assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..keys.len()).collect();
+    perm.shuffle(&mut rng);
+    permute_in_place(&perm, keys);
+    permute_in_place(&perm, values);
+}
+
+/// Algorithm 1 — strided sort.
+///
+/// Rewrites each key to `(key − min) + ordinal × range`, where `ordinal`
+/// counts prior occurrences of the same key (the paper's
+/// `atomic_fetch_add` on a histogram), then sorts by the rewritten keys.
+/// The result is a concatenation of strictly-increasing subsequences: the
+/// first occurrence of every key in ascending order, then every second
+/// occurrence, and so on — so consecutive GPU threads touch consecutive
+/// table entries (coalesced).
+///
+/// Deviation from the paper's pseudocode: the occurrence offset is
+/// multiplied by the key *range* (`max − min + 1`) rather than `max + 1`;
+/// they coincide when `min == 0` and the former is also correct for
+/// shifted key domains.
+pub fn strided_sort<V>(keys: &mut [u32], values: &mut [V]) {
+    assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
+    if keys.len() <= 1 {
+        return;
+    }
+    let space = Serial;
+    let keys64: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
+    let (min_k, max_k) = min_max(&space, &keys64).expect("nonempty");
+    let range = max_k - min_k + 1;
+    let mut counts = vec![0u64; range as usize];
+    let mut new_keys = vec![0u64; keys.len()];
+    for (i, &k) in keys64.iter().enumerate() {
+        let id = k - min_k;
+        let ordinal = counts[id as usize];
+        counts[id as usize] += 1;
+        new_keys[i] = id + ordinal * range;
+    }
+    let perm = sort_permutation(&new_keys);
+    permute_in_place(&perm, keys);
+    permute_in_place(&perm, values);
+}
+
+/// Algorithm 2 — tiled strided sort.
+///
+/// Splits the key domain into chunks of `tile` consecutive keys. Each
+/// chunk's pairs are laid out as `max_r` repeating tiles (where `max_r`
+/// is the global maximum key multiplicity); within a tile, keys are in
+/// strided (strictly increasing) order. A GPU thread block therefore
+/// reads one coalesced, tile-sized working set over and over — reuse the
+/// plain strided order cannot offer.
+///
+/// Deviation from the paper's pseudocode (Algorithm 2 line 14 adds the
+/// *global* `id`): the in-tile offset `id mod tile` is used instead, which
+/// keeps chunks disjoint in the rewritten key space for every input (the
+/// published form can interleave chunks when `id ≥ tile`).
+pub fn tiled_strided_sort<V>(tile: usize, keys: &mut [u32], values: &mut [V]) {
+    assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
+    assert!(tile >= 1, "tile size must be at least 1");
+    if keys.len() <= 1 {
+        return;
+    }
+    let space = Serial;
+    let keys64: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
+    let (min_k, max_k) = min_max(&space, &keys64).expect("nonempty");
+    let range = max_k - min_k + 1;
+    let counts = histogram(&keys64, min_k, max_k);
+    let max_r = counts.iter().copied().max().unwrap_or(0) as u64;
+    let tile = tile as u64;
+    let chunk_sz = tile * max_r;
+    let mut seen = vec![0u64; range as usize];
+    let mut new_keys = vec![0u64; keys.len()];
+    for (i, &k) in keys64.iter().enumerate() {
+        let id = k - min_k;
+        let t = seen[id as usize]; // this occurrence's tile ordinal
+        seen[id as usize] += 1;
+        let chunk = id / tile;
+        new_keys[i] = chunk * chunk_sz + t * tile + (id % tile);
+    }
+    let perm = sort_permutation(&new_keys);
+    permute_in_place(&perm, keys);
+    permute_in_place(&perm, values);
+}
+
+/// Convenience: sort a copy of `keys` by `order` with carried indices,
+/// returning `(sorted_keys, permutation)` where
+/// `sorted_keys[i] == keys[permutation[i]]`.
+pub fn ordered_keys(order: SortOrder, keys: &[u32]) -> (Vec<u32>, Vec<usize>) {
+    let mut k = keys.to_vec();
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    sort_pairs(order, &mut k, &mut idx);
+    (k, idx)
+}
+
+/// Re-export helper: gather values through a permutation (forwarded from
+/// `pk` so callers need only this crate).
+pub fn gather<T: Clone>(perm: &[usize], values: &[T]) -> Vec<T> {
+    apply_permutation(perm, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    fn repeated_keys(unique: u32, reps: usize) -> Vec<u32> {
+        // interleaved, slightly scrambled input
+        let mut keys = Vec::with_capacity(unique as usize * reps);
+        for r in 0..reps {
+            for k in 0..unique {
+                keys.push((k + r as u32 * 7) % unique);
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn standard_sort_produces_ascending_runs() {
+        let mut keys = vec![3u32, 1, 3, 0, 1, 3];
+        let mut vals = vec![30, 10, 31, 0, 11, 32];
+        standard_sort(&mut keys, &mut vals);
+        assert_eq!(keys, vec![0, 1, 1, 3, 3, 3]);
+        assert_eq!(vals, vec![0, 10, 11, 30, 31, 32], "stable tandem sort");
+    }
+
+    #[test]
+    fn strided_sort_structure() {
+        let mut keys = repeated_keys(16, 5);
+        let mut vals: Vec<usize> = (0..keys.len()).collect();
+        let orig = keys.clone();
+        strided_sort(&mut keys, &mut vals);
+        assert!(verify::is_strided_order(&keys), "{keys:?}");
+        verify::assert_same_pairs(&orig, &keys, &vals);
+    }
+
+    #[test]
+    fn strided_sort_example_from_paper_figure2() {
+        // Figure 2 uses keys with duplicates; strided output cycles
+        // through the distinct keys
+        let mut keys = vec![2u32, 0, 1, 0, 2, 1, 0, 2];
+        let mut vals: Vec<char> = ('a'..='h').collect();
+        strided_sort(&mut keys, &mut vals);
+        assert_eq!(keys, vec![0, 1, 2, 0, 1, 2, 0, 2]);
+    }
+
+    #[test]
+    fn tiled_sort_structure() {
+        let tile = 4;
+        let mut keys = repeated_keys(16, 6);
+        let mut vals: Vec<usize> = (0..keys.len()).collect();
+        let orig = keys.clone();
+        tiled_strided_sort(tile, &mut keys, &mut vals);
+        assert!(verify::is_tiled_strided_order(&keys, tile), "{keys:?}");
+        verify::assert_same_pairs(&orig, &keys, &vals);
+    }
+
+    #[test]
+    fn tiled_sort_with_uniform_counts_repeats_exact_tiles() {
+        let tile = 2usize;
+        let mut keys = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let mut vals: Vec<usize> = (0..8).collect();
+        tiled_strided_sort(tile, &mut keys, &mut vals);
+        // chunk {0,1}: tiles [0,1][0,1]; chunk {2,3}: tiles [2,3][2,3]
+        assert_eq!(keys, vec![0, 1, 0, 1, 2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn tile_one_degenerates_to_standard() {
+        let mut a = repeated_keys(8, 3);
+        let mut va: Vec<usize> = (0..a.len()).collect();
+        let mut b = a.clone();
+        let mut vb = va.clone();
+        tiled_strided_sort(1, &mut a, &mut va);
+        standard_sort(&mut b, &mut vb);
+        assert_eq!(a, b, "tile=1 chunks are single keys → ascending runs");
+    }
+
+    #[test]
+    fn huge_tile_degenerates_to_strided() {
+        let mut a = repeated_keys(8, 3);
+        let mut va: Vec<usize> = (0..a.len()).collect();
+        let mut b = a.clone();
+        let mut vb = va.clone();
+        tiled_strided_sort(1 << 20, &mut a, &mut va);
+        strided_sort(&mut b, &mut vb);
+        assert_eq!(a, b, "one giant tile is exactly strided order");
+    }
+
+    #[test]
+    fn random_order_is_deterministic_permutation() {
+        let mut k1 = repeated_keys(8, 4);
+        let mut v1: Vec<usize> = (0..k1.len()).collect();
+        let orig = k1.clone();
+        let mut k2 = k1.clone();
+        let mut v2 = v1.clone();
+        random_order(42, &mut k1, &mut v1);
+        random_order(42, &mut k2, &mut v2);
+        assert_eq!(k1, k2);
+        assert_eq!(v1, v2);
+        verify::assert_same_pairs(&orig, &k1, &v1);
+        assert_ne!(k1, orig, "shuffle should move something");
+    }
+
+    #[test]
+    fn sort_pairs_dispatches() {
+        let keys = repeated_keys(8, 3);
+        for order in SortOrder::fig7_set(4) {
+            let (k, perm) = ordered_keys(order, &keys);
+            // permutation validity
+            let mut sorted_perm = perm.clone();
+            sorted_perm.sort_unstable();
+            assert_eq!(sorted_perm, (0..keys.len()).collect::<Vec<_>>());
+            for (i, &p) in perm.iter().enumerate() {
+                assert_eq!(k[i], keys[p], "{order}");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_key_domain_handled() {
+        // keys not starting at 0 (the min_k subtraction path)
+        let mut keys = vec![1005u32, 1001, 1005, 1003, 1001];
+        let mut vals: Vec<usize> = (0..5).collect();
+        strided_sort(&mut keys, &mut vals);
+        assert!(verify::is_strided_order(&keys));
+        assert_eq!(keys[0], 1001);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let mut keys: Vec<u32> = vec![];
+        let mut vals: Vec<u8> = vec![];
+        strided_sort(&mut keys, &mut vals);
+        tiled_strided_sort(4, &mut keys, &mut vals);
+        let mut keys = vec![9u32];
+        let mut vals = vec![1u8];
+        strided_sort(&mut keys, &mut vals);
+        assert_eq!(keys, vec![9]);
+        tiled_strided_sort(4, &mut keys, &mut vals);
+        assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut keys = vec![1u32, 2];
+        let mut vals = vec![1u8];
+        strided_sort(&mut keys, &mut vals);
+    }
+}

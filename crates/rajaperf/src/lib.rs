@@ -1,0 +1,60 @@
+//! # rajaperf — microkernels for the vectorization study (paper Fig 3)
+//!
+//! Three kernels derived from the RAJAPerf suite, each implemented in the
+//! paper's vectorization strategies:
+//!
+//! * [`axpy`] — `y += a·x`: "the simplest SIMD code without mathematical
+//!   functions or branching";
+//! * [`planckian`] — Planck's-law kernel with an `exp` in the inner loop,
+//!   "which may hinder compiler vectorization";
+//! * [`pi_reduce`] — parallel π approximation, "reveals how common
+//!   operations \[reductions\] can inhibit vectorization".
+//!
+//! Strategy names follow `vsimd::Strategy`: *auto* is a plain indexed
+//! loop (left to LLVM), *guided* is the restructured fixed-width-chunk
+//! form with difficult math split into its own pass, *manual* uses the
+//! explicit-lane `vsimd` types, and *ad hoc* (AXPY only, like the paper's
+//! VPIC-internal library) uses raw `std::arch` intrinsics.
+
+pub mod axpy;
+pub mod pi_reduce;
+pub mod planckian;
+
+pub use vsimd::Strategy;
+
+/// Which microkernel to run (Fig 3's x-axis grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// `y[i] += a * x[i]`
+    Axpy,
+    /// `w[i] = y0[i] / (exp(u[i] / v[i]) - 1)`
+    Planckian,
+    /// `pi = Σ 4 / (1 + ((i+½)dx)²) · dx`
+    PiReduce,
+}
+
+impl Kernel {
+    /// All three kernels in figure order.
+    pub const ALL: [Kernel; 3] = [Kernel::Axpy, Kernel::Planckian, Kernel::PiReduce];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Axpy => "AXPY",
+            Kernel::Planckian => "PLANCKIAN",
+            Kernel::PiReduce => "PI_REDUCE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::ALL.len(), 3);
+        assert_eq!(Kernel::Axpy.name(), "AXPY");
+        assert_eq!(Kernel::PiReduce.name(), "PI_REDUCE");
+    }
+}

@@ -1,0 +1,154 @@
+//! SIMD lane masks, mirroring `Kokkos::Experimental::simd_mask`.
+//!
+//! Masks are how branchy scalar code becomes branch-free vector code:
+//! evaluate both sides, then [`blend`](crate::simd::SimdF32::select) with
+//! the mask (paper §4.2: "includes SIMD masks for handling branches").
+
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A boolean mask with one flag per SIMD lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Mask<const N: usize>(pub [bool; N]);
+
+impl<const N: usize> Mask<N> {
+    /// All lanes set.
+    #[inline(always)]
+    pub fn all_set() -> Self {
+        Self([true; N])
+    }
+
+    /// All lanes clear.
+    #[inline(always)]
+    pub fn none_set() -> Self {
+        Self([false; N])
+    }
+
+    /// True if any lane is set (`simd_mask::any_of`).
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// True if every lane is set (`simd_mask::all_of`).
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// Number of set lanes (`simd_mask::reduce_count`).
+    #[inline(always)]
+    pub fn count(self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// Read one lane.
+    #[inline(always)]
+    pub fn lane(self, l: usize) -> bool {
+        self.0[l]
+    }
+
+    /// First set lane, if any.
+    #[inline(always)]
+    pub fn first_set(self) -> Option<usize> {
+        self.0.iter().position(|&b| b)
+    }
+
+    /// Pack as a bitmask (lane 0 = bit 0), like `movemask`.
+    #[inline(always)]
+    pub fn to_bits(self) -> u64 {
+        debug_assert!(N <= 64);
+        let mut bits = 0u64;
+        for l in 0..N {
+            bits |= (self.0[l] as u64) << l;
+        }
+        bits
+    }
+}
+
+impl<const N: usize> Default for Mask<N> {
+    fn default() -> Self {
+        Self::none_set()
+    }
+}
+
+impl<const N: usize> BitAnd for Mask<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        let mut out = [false; N];
+        for l in 0..N {
+            out[l] = self.0[l] & rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl<const N: usize> BitOr for Mask<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        let mut out = [false; N];
+        for l in 0..N {
+            out[l] = self.0[l] | rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl<const N: usize> Not for Mask<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut out = [false; N];
+        for l in 0..N {
+            out[l] = !self.0[l];
+        }
+        Self(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_all_count() {
+        let m = Mask([true, false, true, false]);
+        assert!(m.any());
+        assert!(!m.all());
+        assert_eq!(m.count(), 2);
+        assert!(Mask::<4>::all_set().all());
+        assert!(!Mask::<4>::none_set().any());
+        assert_eq!(Mask::<4>::none_set().count(), 0);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask([true, true, false, false]);
+        let b = Mask([true, false, true, false]);
+        assert_eq!((a & b).0, [true, false, false, false]);
+        assert_eq!((a | b).0, [true, true, true, false]);
+        assert_eq!((!a).0, [false, false, true, true]);
+        // De Morgan
+        assert_eq!(!(a & b), (!a) | (!b));
+        assert_eq!(!(a | b), (!a) & (!b));
+    }
+
+    #[test]
+    fn bit_packing_and_first_set() {
+        let m = Mask([false, true, false, true]);
+        assert_eq!(m.to_bits(), 0b1010);
+        assert_eq!(m.first_set(), Some(1));
+        assert_eq!(Mask::<4>::none_set().first_set(), None);
+        assert_eq!(Mask::<8>::all_set().to_bits(), 0xff);
+    }
+
+    #[test]
+    fn lane_access() {
+        let m = Mask([true, false, true]);
+        assert!(m.lane(0));
+        assert!(!m.lane(1));
+        assert!(m.lane(2));
+    }
+}

@@ -1,0 +1,127 @@
+//! The four vectorization strategies of the paper (§3.1), as a runtime
+//! selector so benchmarks and the repro harness can sweep them.
+
+use std::fmt;
+
+/// A vectorization strategy, in increasing order of developer effort
+/// (paper: "Manual vectorization requires more effort than auto or guided
+/// but much less than ad hoc").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Compiler auto-vectorization of plain loops (Kokkos default;
+    /// `#pragma ivdep` in the paper's implementation).
+    Auto,
+    /// Forced/assisted auto-vectorization: restructured fixed-width loops
+    /// and split-out math (`#pragma omp simd` in the paper).
+    Guided,
+    /// Explicit portable SIMD types ([`crate::simd`]; Kokkos SIMD in the
+    /// paper).
+    Manual,
+    /// Per-ISA intrinsics ([`crate::v4`] / [`crate::adhoc`]; the VPIC 1.2
+    /// custom SIMD library in the paper).
+    AdHoc,
+}
+
+impl Strategy {
+    /// All strategies, in paper order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Auto,
+        Strategy::Guided,
+        Strategy::Manual,
+        Strategy::AdHoc,
+    ];
+
+    /// The three strategies evaluated on the RAJAPerf microkernels
+    /// (Figure 3 excludes ad hoc, which exists only inside VPIC 1.2).
+    pub const MICRO: [Strategy; 3] = [Strategy::Auto, Strategy::Guided, Strategy::Manual];
+
+    /// Short lowercase name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Guided => "guided",
+            Strategy::Manual => "manual",
+            Strategy::AdHoc => "adhoc",
+        }
+    }
+
+    /// Relative developer effort on the paper's qualitative scale
+    /// (auto < guided < manual ≪ ad hoc).
+    pub fn effort_rank(self) -> u8 {
+        match self {
+            Strategy::Auto => 0,
+            Strategy::Guided => 1,
+            Strategy::Manual => 2,
+            Strategy::AdHoc => 10, // "much less than ad hoc" — a gap, not a step
+        }
+    }
+
+    /// Whether this strategy has a genuine (non-fallback) implementation
+    /// on the build target. Ad hoc is per-ISA by definition: it is real
+    /// only where its intrinsics exist (x86-64 here; the paper's table
+    /// row for A64FX/Grace is the same story with SVE missing).
+    pub fn is_native(self) -> bool {
+        match self {
+            Strategy::Auto | Strategy::Guided | Strategy::Manual => true,
+            Strategy::AdHoc => cfg!(target_arch = "x86_64"),
+        }
+    }
+
+    /// Parse from the names used in figures/CLI (`auto`, `guided`,
+    /// `manual`, `adhoc`/`ad-hoc`/`ad_hoc`).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(Strategy::Auto),
+            "guided" => Some(Strategy::Guided),
+            "manual" => Some(Strategy::Manual),
+            "adhoc" | "ad-hoc" | "ad_hoc" => Some(Strategy::AdHoc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_each_once_in_effort_order() {
+        assert_eq!(Strategy::ALL.len(), 4);
+        let ranks: Vec<u8> = Strategy::ALL.iter().map(|s| s.effort_rank()).collect();
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn micro_excludes_adhoc() {
+        assert!(!Strategy::MICRO.contains(&Strategy::AdHoc));
+        assert_eq!(Strategy::MICRO.len(), 3);
+    }
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+            assert_eq!(Strategy::parse(&s.name().to_uppercase()), Some(s));
+        }
+        assert_eq!(Strategy::parse("ad-hoc"), Some(Strategy::AdHoc));
+        assert_eq!(Strategy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", Strategy::Guided), "guided");
+    }
+
+    #[test]
+    fn portable_strategies_always_native() {
+        assert!(Strategy::Auto.is_native());
+        assert!(Strategy::Guided.is_native());
+        assert!(Strategy::Manual.is_native());
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a small thermal plasma, run it, watch conservation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vpic2::core::Deck;
+
+fn main() {
+    // a quiet, charge-neutral thermal plasma: 16³ cells, 8 electrons per
+    // cell plus a neutralizing mobile ion background
+    let deck = Deck::uniform(16, 16, 16, 8);
+    let mut sim = deck.build();
+    println!(
+        "deck '{}': {} cells, {} particles, dt = {:.4}",
+        deck.name,
+        sim.grid.cells(),
+        sim.particle_count(),
+        sim.grid.dt
+    );
+
+    let e0 = sim.energies();
+    println!(
+        "step {:>4}: field E {:.4e}  field B {:.4e}  kinetic {:.4e}",
+        0,
+        e0.field_e,
+        e0.field_b,
+        e0.kinetic.iter().sum::<f64>()
+    );
+
+    for chunk in 0..5 {
+        let stats = sim.run(10);
+        let e = sim.energies();
+        println!(
+            "step {:>4}: field E {:.4e}  field B {:.4e}  kinetic {:.4e}  (crossings {})",
+            (chunk + 1) * 10,
+            e.field_e,
+            e.field_b,
+            e.kinetic.iter().sum::<f64>(),
+            stats.crossings
+        );
+    }
+
+    let e1 = sim.energies();
+    let drift = ((e1.total() - e0.total()) / e0.total()).abs();
+    println!("\ntotal energy drift over 50 steps: {:.3}%", 100.0 * drift);
+    println!("Gauss-law residual: {:.3e}", sim.gauss_residual());
+    assert!(drift < 0.05, "energy conservation holds");
+    println!("ok: energy conserved, charge continuity maintained");
+}

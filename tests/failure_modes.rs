@@ -1,0 +1,96 @@
+//! Failure injection and degenerate inputs: the library must either
+//! handle edge cases correctly or refuse loudly — never corrupt silently.
+
+use vpic2::core::{Deck, Grid, Simulation, Species};
+use vpic2::psort::{sort_pairs, SortOrder};
+
+#[test]
+fn single_cell_grid_runs() {
+    let grid = Grid::new(1, 1, 1);
+    let mut sim = Simulation::new(grid.clone());
+    let mut e = Species::new("e", -1.0, 1.0);
+    e.load_uniform(&grid, 10, 0.05, (0.0, 0.0, 0.0), 0.01, 1);
+    sim.add_species(e);
+    sim.run(5);
+    sim.species[0].validate(&grid).unwrap();
+    assert_eq!(sim.step_count(), 5);
+}
+
+#[test]
+fn zero_particle_simulation_is_fine() {
+    let mut sim = Simulation::new(Grid::new(4, 4, 4));
+    let stats = sim.run(10);
+    assert_eq!(stats.pushed, 0);
+    assert_eq!(sim.energies().total(), 0.0);
+}
+
+#[test]
+fn empty_species_sorts_and_validates() {
+    let grid = Grid::new(2, 2, 2);
+    let mut s = Species::new("e", -1.0, 1.0);
+    for order in SortOrder::fig7_set(4) {
+        s.sort(order);
+    }
+    s.validate(&grid).unwrap();
+    assert_eq!(s.kinetic_energy(), 0.0);
+    assert_eq!(s.momentum(), (0.0, 0.0, 0.0));
+}
+
+#[test]
+#[should_panic(expected = "Courant")]
+fn unstable_timestep_is_rejected() {
+    let _ = Grid::new(8, 8, 8).with_dt(5.0);
+}
+
+#[test]
+#[should_panic(expected = "at least one cell")]
+fn zero_extent_grid_is_rejected() {
+    let _ = Grid::new(0, 4, 4);
+}
+
+#[test]
+#[should_panic(expected = "extent mismatch")]
+fn mismatched_sort_inputs_are_rejected() {
+    let mut keys = vec![1u32, 2, 3];
+    let mut vals = vec![0u8; 2];
+    sort_pairs(SortOrder::Strided, &mut keys, &mut vals);
+}
+
+#[test]
+fn relativistic_particles_stay_subluminal() {
+    // extreme momentum: velocity saturates below c, mover stays in range
+    let grid = Grid::new(4, 4, 4);
+    let mut sim = Simulation::new(grid.clone());
+    let mut s = Species::new("e", -1.0, 1.0);
+    s.push_particle(0.0, 0.0, 0.0, 0, 1000.0, 0.0, 0.0, 1.0);
+    sim.add_species(s);
+    sim.run(10);
+    let sp = &sim.species[0];
+    sp.validate(&grid).unwrap();
+    let gamma = sp.gamma(0);
+    let v = sp.ux[0] / gamma;
+    assert!(v < 1.0, "v = {v} must stay below c");
+    assert!(gamma > 999.0);
+}
+
+#[test]
+fn deck_with_single_ppc_still_neutral() {
+    let sim = Deck::uniform(4, 4, 4, 1).build();
+    let q: f64 = sim.species.iter().map(|s| s.charge()).sum();
+    assert!(q.abs() < 1e-9);
+}
+
+#[test]
+fn decomposition_rejects_zero_ranks() {
+    let result = std::panic::catch_unwind(|| {
+        vpic2::cluster::Decomposition::new((8, 8, 8), 0)
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn network_model_handles_zero_messages_and_bytes() {
+    let net = vpic2::cluster::systems::selene().network;
+    assert_eq!(net.exchange_time(0, 1e9), 0.0);
+    assert!(net.message_time(0.0) > 0.0, "latency floor remains");
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the hardware model's outputs stay consistent
+//! with Table 1 and with each other at the scales the figures use.
+
+use vpic2::memsim::platform;
+use vpic2::memsim::push::{gpu_push, PushSpec, CELL_FOOTPRINT_BYTES};
+use vpic2::memsim::roofline::Roofline;
+use vpic2::memsim::stream::triad;
+use vpic2::memsim::GpuModel;
+use vpic2::psort::patterns::random_cells;
+
+#[test]
+fn triad_tracks_table1_on_all_platforms() {
+    for p in platform::all() {
+        let r = triad(&p, 1 << 18);
+        assert!(
+            (0.5..1.4).contains(&r.efficiency),
+            "{}: {:.2}",
+            p.name,
+            r.efficiency
+        );
+    }
+}
+
+#[test]
+fn platform_bandwidth_ordering_preserved_under_load() {
+    // a non-trivial kernel must preserve Table 1's bandwidth ordering
+    // between generations of the same vendor
+    let cells = random_cells(60_000, 20_000, 9);
+    let time_on = |name: &str| {
+        let p = platform::by_name(name).unwrap();
+        gpu_push(&GpuModel::scaled(p, 50.0), &PushSpec::vpic(&cells, 20_000))
+            .cost
+            .time
+    };
+    assert!(time_on("H100") < time_on("A100"));
+    assert!(time_on("A100") < time_on("V100"));
+    assert!(time_on("MI300A (GPU)") < time_on("MI100"));
+}
+
+#[test]
+fn rooflines_bound_every_modelled_push() {
+    let cells = random_cells(50_000, 30_000, 3);
+    for p in platform::gpus() {
+        let roof = Roofline::of(&p);
+        let cost = gpu_push(&GpuModel::new(p.clone()), &PushSpec::vpic(&cells, 30_000)).cost;
+        let s = roof.sample("test", &cost);
+        assert!(
+            s.attainable_fraction <= 1.05,
+            "{}: model exceeded its own roofline ({:.2})",
+            p.name,
+            s.attainable_fraction
+        );
+    }
+}
+
+#[test]
+fn cell_footprint_matches_paper_fig9_calibration() {
+    // V100: 6 MB / 432 B ≈ 14.5k resident cells ≈ paper's 13,824 peak;
+    // A100/V100 capacity ratio ≈ the paper's "about 6x"
+    let v100 = platform::by_name("V100").unwrap();
+    let a100 = platform::by_name("A100").unwrap();
+    let v_cap = v100.llc_bytes / CELL_FOOTPRINT_BYTES;
+    let a_cap = a100.llc_bytes / CELL_FOOTPRINT_BYTES;
+    assert!((10_000..20_000).contains(&v_cap));
+    let ratio = a_cap as f64 / v_cap as f64;
+    assert!((5.5..7.5).contains(&ratio), "{ratio}");
+}
+
+#[test]
+fn scaled_models_preserve_ratio_behaviour() {
+    // running a problem at 1/64 size with a 1/64 cache must reproduce the
+    // full-size cache behaviour (the scaling trick every figure relies on)
+    let p = platform::by_name("A100").unwrap();
+    let grid_full = 160_000usize; // ≈1.7x capacity
+    let cells_full = random_cells(320_000, grid_full, 1);
+    // atomic terms excluded: their hot-cell component is a fixed
+    // serialization, not a per-particle cost (see cluster::scaling)
+    let spec_full = PushSpec { atomic_ops: 0, ..PushSpec::vpic(&cells_full, grid_full) };
+    let full = gpu_push(&GpuModel::new(p.clone()), &spec_full);
+    let grid_small = grid_full / 8;
+    let cells_small = random_cells(320_000 / 8, grid_small, 1);
+    let spec_small = PushSpec { atomic_ops: 0, ..PushSpec::vpic(&cells_small, grid_small) };
+    let small = gpu_push(&GpuModel::scaled(p, 8.0), &spec_small);
+    let per_full = full.cost.time / 320_000.0;
+    let per_small = small.cost.time / (320_000.0 / 8.0);
+    let ratio = per_full / per_small;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "per-particle cost must be scale-stable: {ratio}"
+    );
+}
+
+#[test]
+fn strong_scaling_baseline_matches_push_model() {
+    // Fig 10's per-point push time must be consistent with calling the
+    // push model directly at the same local size
+    use vpic2::cluster::scaling::{paper_global_grid, strong_scaling};
+    use vpic2::cluster::systems;
+    let sys = systems::sierra();
+    let pts = strong_scaling(&sys, paper_global_grid(&sys), 16);
+    for w in pts.windows(2) {
+        // halving the local problem never makes a step *slower* than ~2x
+        // the next point (monotone sanity)
+        assert!(
+            w[0].step_time > 0.8 * w[1].step_time,
+            "step time must not explode as GPUs increase: {:?}",
+            (w[0].gpus, w[0].step_time, w[1].gpus, w[1].step_time)
+        );
+    }
+}
