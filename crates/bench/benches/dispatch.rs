@@ -1,0 +1,81 @@
+//! Criterion bench: kernel-dispatch overhead — the persistent worker
+//! pool behind `pk::Threads` vs spawning scoped threads per dispatch —
+//! and pooled push throughput vs `pk::Serial`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pk::atomic::ScatterMode;
+use pk::{Serial, Threads, WorkerPool};
+use vpic_core::accumulate::Accumulator;
+use vpic_core::interp::load_interpolators;
+use vpic_core::push::push_species_on;
+use vpic_core::Deck;
+use vsimd::Strategy;
+
+fn bench_empty_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch/empty");
+    g.sample_size(30);
+    for lanes in [1usize, 2, 4] {
+        let pool = WorkerPool::new(lanes);
+        g.bench_with_input(BenchmarkId::new("pool", lanes), &lanes, |b, _| {
+            b.iter(|| pool.run(&|_| {}));
+        });
+        g.bench_with_input(BenchmarkId::new("spawn", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 1..lanes {
+                        s.spawn(|| {});
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_push_spaces(c: &mut Criterion) {
+    let mut sim = Deck::lpi(16, 8, 8, 8).build();
+    sim.run(5); // non-trivial fields and particle distribution
+    let grid = sim.grid.clone();
+    let interps = load_interpolators(&sim.fields);
+
+    let mut g = c.benchmark_group("dispatch/push");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(sim.particle_count() as u64));
+    {
+        let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+        g.bench_function("serial", |b| {
+            b.iter_batched(
+                || sim.species.clone(),
+                |mut species| {
+                    acc.reset();
+                    for sp in &mut species {
+                        push_species_on(&Serial, Strategy::Auto, &grid, sp, &interps, &acc);
+                    }
+                    species
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    for workers in [2usize, 4] {
+        let threads = Threads::new(workers);
+        let acc = Accumulator::new(grid.cells(), workers, ScatterMode::Duplicated);
+        g.bench_with_input(BenchmarkId::new("threads", workers), &workers, |b, _| {
+            b.iter_batched(
+                || sim.species.clone(),
+                |mut species| {
+                    acc.reset();
+                    for sp in &mut species {
+                        push_species_on(&threads, Strategy::Auto, &grid, sp, &interps, &acc);
+                    }
+                    species
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_empty_dispatch, bench_push_spaces);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Dispatch-overhead microbenchmark: the persistent worker pool behind
+//! `pk::Threads` versus spawning OS threads on every dispatch, plus
+//! pooled-vs-serial particle-push throughput.
+//!
+//! The pooled backend exists to take the thread create/join round-trip
+//! off the kernel-launch critical path (the role of Kokkos' pinned
+//! `Threads` backend); this target quantifies that overhead. The numbers
+//! depend heavily on the host: with a single hardware thread every
+//! multi-lane dispatch still pays scheduler round-trips and the pooled
+//! push cannot beat serial — the dispatch-latency ratio is then the only
+//! meaningful signal, and the push rows document the floor honestly.
+
+use crate::timing::{black_box, median_time};
+use pk::atomic::ScatterMode;
+use pk::{ExecSpace, Serial, Threads, WorkerPool};
+use serde::Serialize;
+use vpic_core::accumulate::Accumulator;
+use vpic_core::push::push_species_on;
+use vpic_core::Deck;
+use vsimd::Strategy;
+
+/// One empty-dispatch latency measurement.
+#[derive(Serialize)]
+pub struct DispatchRow {
+    /// `pool` (persistent workers) or `spawn` (fresh scoped threads).
+    pub backend: String,
+    /// Lanes per dispatch (lane 0 is the caller in both backends).
+    pub lanes: u64,
+    /// Median latency of one empty dispatch, nanoseconds.
+    pub empty_dispatch_ns: f64,
+}
+
+/// One push-throughput measurement.
+#[derive(Serialize)]
+pub struct PushRow {
+    /// Execution space description.
+    pub space: String,
+    /// Worker count of the space.
+    pub workers: u64,
+    /// Particles pushed per second (Auto strategy, LPI deck).
+    pub particles_per_sec: f64,
+}
+
+/// The `dispatch` target's full result set.
+#[derive(Serialize)]
+pub struct Report {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub hardware_threads: u64,
+    /// Empty-dispatch latencies.
+    pub dispatch: Vec<DispatchRow>,
+    /// Push throughput by space.
+    pub push: Vec<PushRow>,
+    /// Spawn-per-dispatch latency over pooled latency at 4 lanes.
+    pub pool_speedup_over_spawn_4_lanes: f64,
+    /// Pooled 4-worker push rate over the serial push rate.
+    pub push_speedup_threads4_over_serial: f64,
+}
+
+fn pool_dispatch_ns(lanes: usize) -> f64 {
+    let pool = WorkerPool::new(lanes);
+    let iters = 200u32;
+    median_time(2, 10, || {
+        for _ in 0..iters {
+            pool.run(&|lane| {
+                black_box(lane);
+            });
+        }
+    }) / iters as f64
+        * 1e9
+}
+
+fn spawn_dispatch_ns(lanes: usize) -> f64 {
+    let iters = 50u32;
+    median_time(1, 10, || {
+        for _ in 0..iters {
+            std::thread::scope(|s| {
+                for _ in 1..lanes {
+                    s.spawn(|| {});
+                }
+            });
+        }
+    }) / iters as f64
+        * 1e9
+}
+
+fn push_rate<S: ExecSpace>(space: &S, workers: usize, mode: ScatterMode) -> f64 {
+    let mut sim = Deck::lpi(16, 8, 8, 8).build();
+    sim.run(3); // non-trivial fields and particle distribution
+    let grid = sim.grid.clone();
+    let interps = vpic_core::interp::load_interpolators(&sim.fields);
+    let acc = Accumulator::new(grid.cells(), workers, mode);
+    let n = sim.particle_count();
+    let mut species = sim.species.clone();
+    let t = median_time(1, 7, || {
+        acc.reset();
+        for sp in &mut species {
+            push_species_on(space, Strategy::Auto, &grid, sp, &interps, &acc);
+        }
+    });
+    n as f64 / t
+}
+
+/// Run the full dispatch-overhead target.
+pub fn run() -> Report {
+    let hardware_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
+    println!("dispatch overhead ({hardware_threads} hardware thread(s))");
+    println!("{:<10} {:>6} {:>18}", "backend", "lanes", "dispatch latency");
+
+    let mut dispatch = Vec::new();
+    let mut pool4 = f64::NAN;
+    let mut spawn4 = f64::NAN;
+    for lanes in [1usize, 2, 4] {
+        for (backend, ns) in [
+            ("pool", pool_dispatch_ns(lanes)),
+            ("spawn", spawn_dispatch_ns(lanes)),
+        ] {
+            println!("{backend:<10} {lanes:>6} {:>18}", crate::fmt_time(ns / 1e9));
+            if lanes == 4 {
+                if backend == "pool" {
+                    pool4 = ns;
+                } else {
+                    spawn4 = ns;
+                }
+            }
+            dispatch.push(DispatchRow {
+                backend: backend.to_string(),
+                lanes: lanes as u64,
+                empty_dispatch_ns: ns,
+            });
+        }
+    }
+    let pool_speedup = spawn4 / pool4;
+    println!("pool vs spawn at 4 lanes: {pool_speedup:.1}x lower latency");
+
+    println!("\n{:<14} {:>8} {:>16}", "space", "workers", "push rate");
+    let mut push = Vec::new();
+    let serial_rate = push_rate(&Serial, 1, ScatterMode::Atomic);
+    push.push(PushRow {
+        space: "Serial".into(),
+        workers: 1,
+        particles_per_sec: serial_rate,
+    });
+    println!("{:<14} {:>8} {:>13.2} Mp/s", "Serial", 1, serial_rate / 1e6);
+    let mut threads4_rate = f64::NAN;
+    for workers in [2usize, 4] {
+        let threads = Threads::new(workers);
+        let rate = push_rate(&threads, workers, ScatterMode::Duplicated);
+        if workers == 4 {
+            threads4_rate = rate;
+        }
+        println!("{:<14} {:>8} {:>13.2} Mp/s", "Threads", workers, rate / 1e6);
+        push.push(PushRow {
+            space: "Threads".into(),
+            workers: workers as u64,
+            particles_per_sec: rate,
+        });
+    }
+    let push_speedup = threads4_rate / serial_rate;
+    println!("Threads(4) vs Serial push: {push_speedup:.2}x");
+
+    Report {
+        hardware_threads,
+        dispatch,
+        push,
+        pool_speedup_over_spawn_4_lanes: pool_speedup,
+        push_speedup_threads4_over_serial: push_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lane_pool_dispatch_is_cheap() {
+        // lane-0-only pools run inline: no parking, no hand-off
+        let ns = pool_dispatch_ns(1);
+        assert!((0.0..50_000.0).contains(&ns), "inline dispatch took {ns} ns");
+    }
+
+    #[test]
+    fn report_shapes_are_consistent() {
+        if crate::skip_heavy_in_debug() {
+            return;
+        }
+        let r = run();
+        assert_eq!(r.dispatch.len(), 6);
+        assert_eq!(r.push.len(), 3);
+        assert!(r.pool_speedup_over_spawn_4_lanes > 0.0);
+        assert!(r.push_speedup_threads4_over_serial > 0.0);
+    }
+}

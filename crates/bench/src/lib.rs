@@ -12,6 +12,7 @@
 //! which is which, per figure.
 
 pub mod ablate;
+pub mod dispatch;
 pub mod fig1;
 pub mod fig10;
 pub mod fig3;

@@ -14,6 +14,7 @@
 //!   fig10  strong scaling (Sierra/Selene/Tuolumne)
 //!   all    everything above
 //!
+//!   dispatch          pooled-vs-spawn dispatch latency + push throughput
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
@@ -46,6 +47,7 @@ fn run_target(name: &str) -> bool {
             bench::save_json("ablate-gpu-aware", &bench::ablate::run_gpu_aware())
         }
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
+        "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         other => {
             eprintln!("unknown target: {other}");
             return false;

@@ -4,6 +4,47 @@ use cluster::decompose::Decomposition;
 use cluster::network::NetworkModel;
 use proptest::prelude::*;
 
+/// Historical proptest failures (`n = 4, ranks = 7` and `ranks = 27`),
+/// pinned as deterministic cases: the offline proptest shim does not
+/// replay `.proptest-regressions` seed files, so previously-failing
+/// inputs are kept alive here instead.
+#[test]
+fn pinned_regressions_small_grid_awkward_rank_counts() {
+    let n = 4usize;
+    for ranks in [7usize, 27] {
+        let d = Decomposition::new((n, n, n), ranks);
+        assert_eq!(d.ranks(), ranks);
+        // ownership partitions the domain
+        let mut per_rank = vec![0usize; ranks];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let r = d.owner(x, y, z);
+                    assert!(r < ranks, "ranks={ranks}");
+                    per_rank[r] += 1;
+                    let (ox, oy, oz) = d.local_origin(r);
+                    let (lx, ly, lz) = d.local_extent(r);
+                    assert!((ox..ox + lx).contains(&x), "ranks={ranks}");
+                    assert!((oy..oy + ly).contains(&y), "ranks={ranks}");
+                    assert!((oz..oz + lz).contains(&z), "ranks={ranks}");
+                }
+            }
+        }
+        let total: usize = per_rank.iter().sum();
+        assert_eq!(total, n * n * n, "ranks={ranks}");
+        for (r, &count) in per_rank.iter().enumerate() {
+            assert_eq!(count, d.local_cells(r), "rank {r} cell count, ranks={ranks}");
+        }
+        // balance, when every axis has at least one cell per rank
+        if d.dims.0 <= n && d.dims.1 <= n && d.dims.2 <= n {
+            let counts: Vec<usize> = (0..d.ranks()).map(|r| d.local_cells(r)).collect();
+            let mx = *counts.iter().max().unwrap();
+            let mn = *counts.iter().min().unwrap();
+            assert!(mx <= 8 * mn.max(1), "ranks={ranks}: {mx} vs {mn}");
+        }
+    }
+}
+
 proptest! {
     /// Every global cell has exactly one owner, and the owner's block
     /// contains it.

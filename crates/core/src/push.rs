@@ -23,6 +23,8 @@ use crate::accumulate::Accumulator;
 use crate::grid::Grid;
 use crate::interp::Interpolator;
 use crate::species::Species;
+use pk::{ExecSpace, RangePolicy, Serial, Sum};
+use std::ops::Range;
 use vsimd::simd::SimdF32;
 use vsimd::v4::V4F32;
 use vsimd::Strategy;
@@ -61,7 +63,8 @@ pub struct PushStats {
     pub crossings: usize,
 }
 
-/// Push every particle of `species` one step under `strategy`.
+/// Push every particle of `species` one step under `strategy`, serially
+/// on the calling thread.
 ///
 /// `interps` must hold one record per grid cell (from
 /// [`crate::interp::load_interpolators`]); deposits go into `acc`.
@@ -72,14 +75,164 @@ pub fn push_species(
     interps: &[Interpolator],
     acc: &Accumulator,
 ) -> PushStats {
+    push_species_on(&Serial, strategy, grid, species, interps, acc)
+}
+
+/// Push every particle of `species` one step under `strategy`,
+/// distributing contiguous particle blocks over `space`'s workers.
+///
+/// Each block deposits with its block index as the accumulator worker id,
+/// so in [`pk::atomic::ScatterMode::Duplicated`] the accumulator should be
+/// built with at least `space.concurrency()` workers for contention-free
+/// replicas (fewer is safe — ids wrap onto the replicas — just contended).
+///
+/// Per-particle state (positions, momenta, cells) and the crossing count
+/// are bit-identical to [`push_species`]: particles are independent and
+/// blocks are reduced in block order. Only the *order* of same-cell
+/// current additions differs, so accumulated currents match the serial
+/// push to f64-rounding of the summation order (≲1e-12 relative).
+pub fn push_species_on<S: ExecSpace>(
+    space: &S,
+    strategy: Strategy,
+    grid: &Grid,
+    species: &mut Species,
+    interps: &[Interpolator],
+    acc: &Accumulator,
+) -> PushStats {
     assert_eq!(interps.len(), grid.cells(), "interpolator/grid mismatch");
     assert_eq!(acc.cells(), grid.cells(), "accumulator/grid mismatch");
+    let n = species.len();
+    if n == 0 {
+        return PushStats::default();
+    }
     let params = PushParams::new(grid, species.q, species.m);
+    let policy = RangePolicy::new(n);
+    let blocks = policy.static_blocks(space.concurrency());
+    if blocks.len() <= 1 {
+        let mut chunk = Chunk {
+            q: species.q,
+            worker: 0,
+            cell: &mut species.cell,
+            dx: &mut species.dx,
+            dy: &mut species.dy,
+            dz: &mut species.dz,
+            ux: &mut species.ux,
+            uy: &mut species.uy,
+            uz: &mut species.uz,
+            w: &species.w,
+        };
+        return push_chunk(strategy, grid, &mut chunk, interps, acc, params);
+    }
+    let starts: Vec<usize> = blocks.iter().map(|b| b.start).collect();
+    let q = species.q;
+    let ptrs = SpeciesPtrs::new(species);
+    let ptrs = &ptrs;
+    let crossings = space.reduce_blocks(&policy, &Sum::<u64>::new(), &|range| {
+        // worker id = block index (reduce_blocks dispatches the same
+        // static partition); a space that partitions differently still
+        // gets a stable id per disjoint sub-range
+        let worker = match starts.binary_search(&range.start) {
+            Ok(b) => b,
+            Err(i) => i.saturating_sub(1),
+        };
+        // SAFETY: reduce_blocks hands out disjoint sub-ranges that
+        // partition `0..n` (the ExecSpace contract), so every particle
+        // index has exactly one mutable owner.
+        let mut chunk = unsafe { ptrs.chunk(range, q, worker) };
+        push_chunk(strategy, grid, &mut chunk, interps, acc, params).crossings as u64
+    });
+    PushStats { pushed: n, crossings: crossings as usize }
+}
+
+/// A contiguous window into one species' particle arrays, pushed by a
+/// single worker. `worker` routes this chunk's deposits to its scatter
+/// replica in duplicated mode.
+struct Chunk<'a> {
+    q: f32,
+    worker: usize,
+    cell: &'a mut [u32],
+    dx: &'a mut [f32],
+    dy: &'a mut [f32],
+    dz: &'a mut [f32],
+    ux: &'a mut [f32],
+    uy: &'a mut [f32],
+    uz: &'a mut [f32],
+    w: &'a [f32],
+}
+
+impl Chunk<'_> {
+    fn len(&self) -> usize {
+        self.cell.len()
+    }
+}
+
+/// Raw pointers to one species' particle arrays, used to reconstruct
+/// disjoint [`Chunk`]s inside a parallel dispatch.
+struct SpeciesPtrs {
+    cell: *mut u32,
+    dx: *mut f32,
+    dy: *mut f32,
+    dz: *mut f32,
+    ux: *mut f32,
+    uy: *mut f32,
+    uz: *mut f32,
+    w: *const f32,
+}
+
+// SAFETY: only used to rebuild per-block chunks over disjoint ranges, so
+// no element is ever aliased mutably (see `push_species_on`).
+unsafe impl Sync for SpeciesPtrs {}
+
+impl SpeciesPtrs {
+    fn new(s: &mut Species) -> Self {
+        Self {
+            cell: s.cell.as_mut_ptr(),
+            dx: s.dx.as_mut_ptr(),
+            dy: s.dy.as_mut_ptr(),
+            dz: s.dz.as_mut_ptr(),
+            ux: s.ux.as_mut_ptr(),
+            uy: s.uy.as_mut_ptr(),
+            uz: s.uz.as_mut_ptr(),
+            w: s.w.as_ptr(),
+        }
+    }
+
+    /// Rebuild the chunk over `range`.
+    ///
+    /// # Safety
+    /// `range` must be in bounds for the species' arrays and disjoint
+    /// from every other chunk built from `self` that is alive.
+    unsafe fn chunk(&self, range: Range<usize>, q: f32, worker: usize) -> Chunk<'_> {
+        let (start, len) = (range.start, range.len());
+        Chunk {
+            q,
+            worker,
+            cell: std::slice::from_raw_parts_mut(self.cell.add(start), len),
+            dx: std::slice::from_raw_parts_mut(self.dx.add(start), len),
+            dy: std::slice::from_raw_parts_mut(self.dy.add(start), len),
+            dz: std::slice::from_raw_parts_mut(self.dz.add(start), len),
+            ux: std::slice::from_raw_parts_mut(self.ux.add(start), len),
+            uy: std::slice::from_raw_parts_mut(self.uy.add(start), len),
+            uz: std::slice::from_raw_parts_mut(self.uz.add(start), len),
+            w: std::slice::from_raw_parts(self.w.add(start), len),
+        }
+    }
+}
+
+/// Dispatch one chunk to the selected strategy kernel.
+fn push_chunk(
+    strategy: Strategy,
+    grid: &Grid,
+    chunk: &mut Chunk<'_>,
+    interps: &[Interpolator],
+    acc: &Accumulator,
+    params: PushParams,
+) -> PushStats {
     match strategy {
-        Strategy::Auto => push_auto(grid, species, interps, acc, params),
-        Strategy::Guided => push_guided(grid, species, interps, acc, params),
-        Strategy::Manual => push_manual(grid, species, interps, acc, params),
-        Strategy::AdHoc => push_adhoc(grid, species, interps, acc, params),
+        Strategy::Auto => push_auto(grid, chunk, interps, acc, params),
+        Strategy::Guided => push_guided(grid, chunk, interps, acc, params),
+        Strategy::Manual => push_manual(grid, chunk, interps, acc, params),
+        Strategy::AdHoc => push_adhoc(grid, chunk, interps, acc, params),
     }
 }
 
@@ -128,6 +281,7 @@ fn boris(
 fn move_and_deposit(
     grid: &Grid,
     acc: &Accumulator,
+    worker: usize,
     qw: f32,
     cell: &mut u32,
     x: &mut f32,
@@ -159,7 +313,7 @@ fn move_and_deposit(
         }
         if axis == usize::MAX {
             // no crossing: deposit the final segment and finish
-            acc.deposit_segment(0, *cell as usize, *x, *y, *z, tx, ty, tz, qw);
+            acc.deposit_segment(worker, *cell as usize, *x, *y, *z, tx, ty, tz, qw);
             *x = tx.clamp(-1.0, 1.0);
             *y = ty.clamp(-1.0, 1.0);
             *z = tz.clamp(-1.0, 1.0);
@@ -171,7 +325,7 @@ fn move_and_deposit(
         let bx = (*x + alpha * mx).clamp(-1.0, 1.0);
         let by = (*y + alpha * my).clamp(-1.0, 1.0);
         let bz = (*z + alpha * mz).clamp(-1.0, 1.0);
-        acc.deposit_segment(0, *cell as usize, *x, *y, *z, bx, by, bz, qw);
+        acc.deposit_segment(worker, *cell as usize, *x, *y, *z, bx, by, bz, qw);
         // cross into the neighbor: flip the crossed axis's offset
         let (dxn, dyn_, dzn): (isize, isize, isize) = match axis {
             0 => (if mx > 0.0 { 1 } else { -1 }, 0, 0),
@@ -194,7 +348,7 @@ fn move_and_deposit(
 
 fn push_auto(
     grid: &Grid,
-    s: &mut Species,
+    s: &mut Chunk<'_>,
     interps: &[Interpolator],
     acc: &Accumulator,
     p: PushParams,
@@ -215,6 +369,7 @@ fn push_auto(
         stats.crossings += move_and_deposit(
             grid,
             acc,
+            s.worker,
             qw,
             &mut s.cell[i],
             &mut s.dx[i],
@@ -233,7 +388,7 @@ const GUIDED_BLOCK: usize = 256;
 
 fn push_guided(
     grid: &Grid,
-    s: &mut Species,
+    s: &mut Chunk<'_>,
     interps: &[Interpolator],
     acc: &Accumulator,
     p: PushParams,
@@ -284,6 +439,7 @@ fn push_guided(
             stats.crossings += move_and_deposit(
                 grid,
                 acc,
+                s.worker,
                 qw,
                 &mut s.cell[i],
                 &mut s.dx[i],
@@ -301,7 +457,7 @@ fn push_guided(
 
 fn push_manual(
     grid: &Grid,
-    s: &mut Species,
+    s: &mut Chunk<'_>,
     interps: &[Interpolator],
     acc: &Accumulator,
     p: PushParams,
@@ -336,9 +492,9 @@ fn push_manual(
         let (ex, ey, ez) = (SimdF32(ex), SimdF32(ey), SimdF32(ez));
         let (bx, by, bz) = (SimdF32(bx), SimdF32(by), SimdF32(bz));
         // vector Boris over 4 particles
-        let mut ux = SimdF32::<4>::load(&s.ux, i) + h * ex;
-        let mut uy = SimdF32::<4>::load(&s.uy, i) + h * ey;
-        let mut uz = SimdF32::<4>::load(&s.uz, i) + h * ez;
+        let mut ux = SimdF32::<4>::load(s.ux, i) + h * ex;
+        let mut uy = SimdF32::<4>::load(s.uy, i) + h * ey;
+        let mut uz = SimdF32::<4>::load(s.uz, i) + h * ez;
         let gi = one / (one + ux * ux + uy * uy + uz * uz).sqrt();
         let tx = h * bx * gi;
         let ty = h * by * gi;
@@ -353,9 +509,9 @@ fn push_manual(
         ux += h * ex;
         uy += h * ey;
         uz += h * ez;
-        ux.store(&mut s.ux, i);
-        uy.store(&mut s.uy, i);
-        uz.store(&mut s.uz, i);
+        ux.store(s.ux, i);
+        uy.store(s.uy, i);
+        uz.store(s.uz, i);
         // scalar mover per lane
         for l in 0..4 {
             let k = i + l;
@@ -365,6 +521,7 @@ fn push_manual(
             stats.crossings += move_and_deposit(
                 grid,
                 acc,
+                s.worker,
                 qw,
                 &mut s.cell[k],
                 &mut s.dx[k],
@@ -384,7 +541,7 @@ fn push_manual(
 
 fn push_adhoc(
     grid: &Grid,
-    s: &mut Species,
+    s: &mut Chunk<'_>,
     interps: &[Interpolator],
     acc: &Accumulator,
     p: PushParams,
@@ -417,9 +574,9 @@ fn push_adhoc(
         }
         let (ex, ey, ez) = (V4F32::from_array(ex), V4F32::from_array(ey), V4F32::from_array(ez));
         let (bx, by, bz) = (V4F32::from_array(bx), V4F32::from_array(by), V4F32::from_array(bz));
-        let mut ux = V4F32::load(&s.ux, i).add(h.mul(ex));
-        let mut uy = V4F32::load(&s.uy, i).add(h.mul(ey));
-        let mut uz = V4F32::load(&s.uz, i).add(h.mul(ez));
+        let mut ux = V4F32::load(s.ux, i).add(h.mul(ex));
+        let mut uy = V4F32::load(s.uy, i).add(h.mul(ey));
+        let mut uz = V4F32::load(s.uz, i).add(h.mul(ez));
         let norm = one.add(ux.mul(ux)).add(uy.mul(uy)).add(uz.mul(uz));
         let gi = one.div(norm.sqrt());
         let tx = h.mul(bx).mul(gi);
@@ -436,9 +593,9 @@ fn push_adhoc(
         ux = ux.add(h.mul(ex));
         uy = uy.add(h.mul(ey));
         uz = uz.add(h.mul(ez));
-        ux.store(&mut s.ux, i);
-        uy.store(&mut s.uy, i);
-        uz.store(&mut s.uz, i);
+        ux.store(s.ux, i);
+        uy.store(s.uy, i);
+        uz.store(s.uz, i);
         for l in 0..4 {
             let k = i + l;
             let (ux, uy, uz) = (s.ux[k], s.uy[k], s.uz[k]);
@@ -447,6 +604,7 @@ fn push_adhoc(
             stats.crossings += move_and_deposit(
                 grid,
                 acc,
+                s.worker,
                 qw,
                 &mut s.cell[k],
                 &mut s.dx[k],
@@ -466,7 +624,7 @@ fn push_adhoc(
 /// Scalar tail shared by the vector strategies.
 fn push_tail(
     grid: &Grid,
-    s: &mut Species,
+    s: &mut Chunk<'_>,
     interps: &[Interpolator],
     acc: &Accumulator,
     p: PushParams,
@@ -488,6 +646,7 @@ fn push_tail(
         crossings += move_and_deposit(
             grid,
             acc,
+            s.worker,
             qw,
             &mut s.cell[i],
             &mut s.dx[i],
@@ -685,6 +844,61 @@ mod tests {
             (total_jx - expect).abs() < 1e-5,
             "total jx {total_jx} vs {expect}"
         );
+    }
+
+    #[test]
+    fn parallel_push_matches_serial_push() {
+        use pk::Threads;
+        let grid = Grid::new(6, 6, 6);
+        let mut f = FieldArray::new(grid.clone());
+        for v in 0..grid.cells() {
+            f.ex[v] = 0.004 * (v as f32 * 0.3).sin();
+            f.by[v] = 0.05 + 0.02 * (v as f32 * 0.11).cos();
+            f.bz[v] = 0.1;
+        }
+        let interps = load_interpolators(&f);
+        let make = || {
+            let mut s = Species::new("e", -1.0, 1.0);
+            s.load_uniform(&grid, 777, 0.3, (0.1, -0.05, 0.0), 1.0, 5);
+            s
+        };
+        let threads = Threads::new(4);
+        for strat in [Strategy::Auto, Strategy::Guided, Strategy::Manual, Strategy::AdHoc] {
+            let mut serial_s = make();
+            let serial_acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+            let serial_stats =
+                push_species(strat, &grid, &mut serial_s, &interps, &serial_acc);
+            let mut par_s = make();
+            let par_acc =
+                Accumulator::new(grid.cells(), threads.concurrency(), ScatterMode::Duplicated);
+            let par_stats =
+                push_species_on(&threads, strat, &grid, &mut par_s, &interps, &par_acc);
+            // particles are independent: trajectories must be bit-identical
+            assert_eq!(par_stats, serial_stats, "{strat}");
+            assert_eq!(par_s.cell, serial_s.cell, "{strat}");
+            assert_eq!(par_s.dx, serial_s.dx, "{strat}");
+            assert_eq!(par_s.ux, serial_s.ux, "{strat}");
+            // deposits differ only in f64 summation order
+            let mut fs = FieldArray::new(grid.clone());
+            let mut fp = FieldArray::new(grid.clone());
+            serial_acc.unload(&mut fs);
+            par_acc.unload(&mut fp);
+            for (a, b) in fs.jx.iter().zip(&fp.jx).chain(fs.jy.iter().zip(&fp.jy)) {
+                assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{strat}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_push_with_empty_species_is_noop() {
+        use pk::Threads;
+        let grid = Grid::new(4, 4, 4);
+        let (f, acc) = setup(&grid);
+        let interps = load_interpolators(&f);
+        let mut s = Species::new("e", -1.0, 1.0);
+        let stats =
+            push_species_on(&Threads::new(4), Strategy::Auto, &grid, &mut s, &interps, &acc);
+        assert_eq!(stats, PushStats::default());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Persistent worker pool backing the [`Threads`](crate::Threads)
+//! execution space.
+//!
+//! The original `Threads` backend spawned OS threads on every dispatch
+//! (`crossbeam::scope` per `parallel_for`), which puts a thread
+//! create/join round-trip (tens of microseconds) on the critical path of
+//! every kernel launch — the exact overhead Kokkos' pinned `Threads`
+//! backend exists to avoid. This module provides the Kokkos-style
+//! alternative: a fixed set of long-lived workers, spawned once, that park
+//! on a condvar between dispatches.
+//!
+//! Design:
+//!
+//! * a pool with `lanes` lanes spawns `lanes - 1` OS threads; the caller
+//!   participates as lane 0, so a 1-lane pool runs inline with no threads
+//!   and no synchronization;
+//! * [`WorkerPool::run`] publishes one job — a `Fn(lane)` — under a mutex,
+//!   bumps an epoch counter, and wakes all workers; each worker runs the
+//!   job for its own lane exactly once per epoch;
+//! * worker panics are caught, counted, and re-raised on the **calling**
+//!   thread after every lane has finished (so borrowed data is never
+//!   touched after the dispatch returns);
+//! * `Drop` sets a shutdown flag, wakes the workers, and joins them.
+//!
+//! Pools are cached per worker count in a process-wide registry
+//! ([`global`]) so `Threads::new(4)` constructed repeatedly (e.g. in a
+//! test loop) reuses one set of OS threads instead of respawning.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
+use std::thread::JoinHandle;
+
+/// The job currently being dispatched: a lifetime-erased pointer to the
+/// caller's `Fn(lane)`. Valid only while the owning [`WorkerPool::run`]
+/// call is blocked, which is exactly the window workers read it in.
+#[derive(Clone, Copy)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and the
+// dispatch protocol guarantees it outlives every worker's use of it.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Incremented once per dispatch; workers run one job per new epoch.
+    epoch: u64,
+    /// The published job for the current epoch.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch's job.
+    remaining: usize,
+    /// Worker panics observed during the current epoch.
+    worker_panics: usize,
+    /// Set by `Drop`; workers exit their loop when they observe it.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between dispatches.
+    work_cv: Condvar,
+    /// The dispatching caller parks here until `remaining == 0`.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Lock the state, ignoring poisoning: a panicking kernel must not
+    /// wedge the pool (panics are re-raised by `run` itself).
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A fixed set of persistent worker threads (see module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("lanes", &self.lanes).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Build a pool with `lanes` lanes (minimum 1). Spawns `lanes - 1`
+    /// threads; the dispatching caller is always lane 0.
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                worker_panics: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pk-worker-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles, lanes }
+    }
+
+    /// Number of lanes (caller + spawned workers).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Run `task(lane)` once on every lane, returning when all lanes have
+    /// finished. The caller executes lane 0 itself. If any lane panics,
+    /// the panic is raised here — after every other lane has completed, so
+    /// data borrowed by `task` is never used past this call.
+    ///
+    /// Dispatch is not reentrant: calling `run` from inside a task on the
+    /// same pool is a programming error and panics.
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            task(0);
+            return;
+        }
+        // Erase the borrow lifetime: workers only dereference the pointer
+        // between the notify below and the `remaining == 0` wait, during
+        // which this frame (and therefore `task`'s borrows) is pinned.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        {
+            let mut st = self.shared.lock();
+            assert!(st.job.is_none(), "nested dispatch on the same WorkerPool");
+            st.job = Some(Job { task: erased });
+            st.epoch = st.epoch.wrapping_add(1);
+            st.remaining = self.handles.len();
+            st.worker_panics = 0;
+            self.shared.work_cv.notify_all();
+        }
+        let mine = catch_unwind(AssertUnwindSafe(|| task(0)));
+        let worker_panics = {
+            let mut st = self.shared.lock();
+            while st.remaining > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.worker_panics
+        };
+        if let Err(cause) = mine {
+            resume_unwind(cause);
+        }
+        if worker_panics > 0 {
+            panic!("{worker_panics} pool worker(s) panicked during dispatch");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: `run` keeps the caller frame alive until `remaining`
+        // reaches 0, which happens only after this call returns.
+        let task = unsafe { &*job.task };
+        let panicked = catch_unwind(AssertUnwindSafe(|| task(lane))).is_err();
+        let mut st = shared.lock();
+        if panicked {
+            st.worker_panics += 1;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Shareable raw base pointer for handing disjoint sub-slices to lanes.
+/// The caller must guarantee the lanes' index sets are disjoint.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+impl<T> SendPtr<T> {
+    /// By-value accessor: closures calling this capture the whole
+    /// wrapper (which is `Sync`), not the raw-pointer field (which
+    /// is not — Rust 2021 closures capture fields individually).
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// manual impls: the derive would add an unwanted `T: Copy` bound
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: used only to reconstruct disjoint `&mut [T]` chunks, one owner
+// per chunk, so aliasing rules are upheld by construction.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+static REGISTRY: OnceLock<Mutex<HashMap<usize, Weak<WorkerPool>>>> = OnceLock::new();
+
+/// The process-wide pool for `lanes` lanes. Live pools are shared (two
+/// `Threads::new(4)` handles drive the same workers); once every handle is
+/// dropped the pool shuts down, and the next request respawns it.
+pub fn global(lanes: usize) -> Arc<WorkerPool> {
+    let lanes = lanes.max(1);
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = registry.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(pool) = map.get(&lanes).and_then(Weak::upgrade) {
+        return pool;
+    }
+    let pool = Arc::new(WorkerPool::new(lanes));
+    map.insert(lanes, Arc::downgrade(&pool));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_lane_runs_exactly_once_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|lane| {
+                counts[lane].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let caller = std::thread::current().id();
+        pool.run(&|lane| {
+            assert_eq!(lane, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 1 {
+                    panic!("lane 1 failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // the pool stays usable after a panic
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let worker_done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 0 {
+                    panic!("caller lane failure");
+                }
+                worker_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            worker_done.load(Ordering::Relaxed),
+            1,
+            "worker lane must have completed before the panic resumed"
+        );
+    }
+
+    #[test]
+    fn drop_shuts_the_pool_down() {
+        let pool = WorkerPool::new(4);
+        pool.run(&|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn registry_shares_live_pools_per_lane_count() {
+        let a = global(3);
+        let b = global(3);
+        assert!(Arc::ptr_eq(&a, &b), "same lane count must share one pool");
+        let c = global(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn dispatch_from_many_epochs_sees_fresh_closures() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50usize {
+            let sum = AtomicUsize::new(0);
+            pool.run(&|lane| {
+                sum.fetch_add(round * 10 + lane, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 3 * round * 10 + (1 + 2));
+        }
+    }
+}

@@ -5,10 +5,12 @@
 //! (see the `memsim` crate): kernels run functionally on the host while a
 //! hardware model accounts their memory behaviour.
 
+use crate::pool::{self, SendPtr, WorkerPool};
 use crate::range::{RangePolicy, Schedule};
 use crate::reduce::{Reducer, Scalar};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A backend capable of executing the parallel patterns.
 ///
@@ -61,17 +63,27 @@ pub trait ExecSpace: Sync {
                 });
             }
             Schedule::Dynamic => {
-                let chunk = policy.effective_chunk(self.concurrency());
+                // `effective_chunk` guarantees a nonzero chunk; a zero chunk
+                // would make every claim empty and this loop endless.
+                let chunk = policy.effective_chunk(self.concurrency()).max(1);
                 let next = AtomicUsize::new(policy.range.start);
                 let end = policy.range.end;
                 // one "block" per worker; each pulls chunks dynamically
                 let workers = RangePolicy::new(self.concurrency());
                 self.run_blocks(&workers, &|_| loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= end {
-                        break;
-                    }
-                    for i in start..(start + chunk).min(end) {
+                    // Claim [cur, cur + chunk) ∩ [.., end) without ever
+                    // storing a cursor past `end`: a plain fetch_add would
+                    // overshoot and, for ranges ending near usize::MAX,
+                    // wrap the cursor back below `end`, re-running indices.
+                    let claim = next.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                        if cur >= end {
+                            None
+                        } else {
+                            Some(cur.saturating_add(chunk).min(end))
+                        }
+                    });
+                    let Ok(start) = claim else { break };
+                    for i in start..start.saturating_add(chunk).min(end) {
                         f(i);
                     }
                 });
@@ -211,16 +223,29 @@ impl ExecSpace for Serial {
 }
 
 /// The host-threads execution space (`Kokkos::Threads`/`Kokkos::OpenMP`
-/// analog) built on crossbeam scoped threads.
-#[derive(Debug, Clone, Copy)]
+/// analog), backed by a persistent [`WorkerPool`]: the workers are spawned
+/// once (shared process-wide per worker count) and park between
+/// dispatches, so a kernel launch costs a mutex/condvar hand-off instead
+/// of a thread create/join round-trip.
+///
+/// Cloning is cheap and clones share the same pool. The pool shuts down
+/// (joining its threads) when the last handle for its worker count drops.
+#[derive(Clone)]
 pub struct Threads {
-    workers: usize,
+    pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Threads").field("workers", &self.pool.lanes()).finish()
+    }
 }
 
 impl Threads {
-    /// A space with `workers` worker threads (minimum 1).
+    /// A space with `workers` worker lanes (minimum 1). Lane 0 is the
+    /// dispatching caller; lanes 1.. are pooled OS threads.
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self { pool: pool::global(workers) }
     }
 
     /// A space sized to the machine's available parallelism.
@@ -238,7 +263,7 @@ impl Default for Threads {
 
 impl ExecSpace for Threads {
     fn concurrency(&self) -> usize {
-        self.workers
+        self.pool.lanes()
     }
 
     fn name(&self) -> &'static str {
@@ -246,19 +271,20 @@ impl ExecSpace for Threads {
     }
 
     fn run_blocks(&self, policy: &RangePolicy, f: &(dyn Fn(Range<usize>) + Sync)) {
-        let blocks = policy.static_blocks(self.workers);
+        let blocks = policy.static_blocks(self.pool.lanes());
         match blocks.len() {
             0 => {}
             1 => f(blocks[0].clone()),
             _ => {
-                crossbeam::scope(|s| {
-                    // run the first block on the calling thread, the rest on workers
-                    for b in blocks.iter().skip(1).cloned() {
-                        s.spawn(move |_| f(b));
+                let lanes = self.pool.lanes();
+                let blocks = &blocks;
+                self.pool.run(&|lane| {
+                    let mut b = lane;
+                    while b < blocks.len() {
+                        f(blocks[b].clone());
+                        b += lanes;
                     }
-                    f(blocks[0].clone());
-                })
-                .expect("worker thread panicked");
+                });
             }
         }
     }
@@ -278,32 +304,25 @@ impl ExecSpace for Threads {
             f(0, data);
             return;
         }
-        // split the storage once, then execute chunks in waves of at most
-        // `workers` threads so parts ≫ workers cannot oversubscribe
-        let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(blocks.len());
-        let mut rest = data;
-        let mut consumed = 0usize;
-        for b in &blocks {
-            let (head, tail) = rest.split_at_mut(b.len());
-            rest = tail;
-            chunks.push((consumed, head));
-            consumed += b.len();
-        }
-        for wave in chunks.chunks_mut(self.workers.max(1)) {
-            crossbeam::scope(|s| {
-                let mut iter = wave.iter_mut();
-                let first = iter.next();
-                for (off, head) in iter {
-                    let off = *off;
-                    let head: &mut [T] = head;
-                    s.spawn(move |_| f(off, head));
-                }
-                if let Some((off, head)) = first {
-                    f(*off, head);
-                }
-            })
-            .expect("worker thread panicked");
-        }
+        // Hand lane `k` chunks k, k+lanes, k+2·lanes, …: the strided
+        // assignment partitions the chunk list, and the chunks partition
+        // `data`, so every element has exactly one mutable owner.
+        let base = SendPtr(data.as_mut_ptr());
+        let spans: Vec<(usize, usize)> = blocks.iter().map(|b| (b.start, b.len())).collect();
+        let lanes = self.pool.lanes();
+        let spans = &spans;
+        self.pool.run(&move |lane| {
+            let ptr = base.get();
+            let mut c = lane;
+            while c < spans.len() {
+                let (start, len) = spans[c];
+                // SAFETY: spans are disjoint, in-bounds, and each is
+                // visited by exactly one lane (see above).
+                let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.add(start), len) };
+                f(start, chunk);
+                c += lanes;
+            }
+        });
     }
 
     fn reduce_blocks<R: Reducer>(
@@ -312,28 +331,33 @@ impl ExecSpace for Threads {
         reducer: &R,
         f: &(dyn Fn(Range<usize>) -> R::Value + Sync),
     ) -> R::Value {
-        let blocks = policy.static_blocks(self.workers);
+        let blocks = policy.static_blocks(self.pool.lanes());
         match blocks.len() {
             0 => reducer.identity(),
             1 => f(blocks[0].clone()),
             _ => {
-                let partials: Vec<R::Value> = crossbeam::scope(|s| {
-                    let handles: Vec<_> = blocks
-                        .iter()
-                        .skip(1)
-                        .cloned()
-                        .map(|b| s.spawn(move |_| f(b)))
-                        .collect();
-                    let mut vals = vec![f(blocks[0].clone())];
-                    for h in handles {
-                        vals.push(h.join().expect("reduce worker panicked"));
+                // one slot per block, filled by whichever lane owns the
+                // block, then joined in block order: deterministic for a
+                // fixed space/worker count (the Kokkos guarantee)
+                let slots: Vec<Mutex<Option<R::Value>>> =
+                    blocks.iter().map(|_| Mutex::new(None)).collect();
+                let lanes = self.pool.lanes();
+                let (blocks, slots) = (&blocks, &slots);
+                self.pool.run(&|lane| {
+                    let mut b = lane;
+                    while b < blocks.len() {
+                        let v = f(blocks[b].clone());
+                        *slots[b].lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        b += lanes;
                     }
-                    vals
-                })
-                .expect("worker thread panicked");
-                // join in deterministic block order
+                });
                 let mut acc = reducer.identity();
-                for v in partials {
+                for slot in slots {
+                    let v = slot
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("every block produced a partial");
                     acc = reducer.join(acc, v);
                 }
                 acc
@@ -379,6 +403,59 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_tiny_range_many_workers() {
+        // effective_chunk must clamp to ≥ 1 when workers ≫ len — a zero
+        // chunk would make every claim empty and the pull loop endless
+        let threads = Threads::new(8);
+        let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        threads.parallel_for(RangePolicy::new(3).dynamic(0), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_survives_range_ending_at_usize_max() {
+        // regression: a plain fetch_add claim cursor overshoots `end` and,
+        // for ranges ending at usize::MAX, wraps below it, re-running
+        // indices forever
+        let start = usize::MAX - 61;
+        let policy = RangePolicy::over(start..usize::MAX).dynamic(7);
+        for workers in [1usize, 3] {
+            let threads = Threads::new(workers);
+            let count = AtomicU64::new(0);
+            let sum = AtomicU64::new(0);
+            threads.parallel_for(policy.clone(), |i| {
+                count.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add((i - start) as u64, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 61, "workers={workers}");
+            assert_eq!(sum.load(Ordering::Relaxed), 60 * 61 / 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn reduce_blocks_bitwise_deterministic_across_runs() {
+        // per-block partials joined in block order: repeated runs at a
+        // fixed worker count must agree to the bit even for f32 sums
+        let threads = Threads::new(4);
+        let policy = RangePolicy::new(10_000);
+        let reducer = Sum::<f32>::new();
+        let f = |block: Range<usize>| {
+            let mut acc = 0.0f32;
+            for i in block {
+                acc += 1.0 / (1.0 + i as f32);
+            }
+            acc
+        };
+        let first = threads.reduce_blocks(&policy, &reducer, &f);
+        for _ in 0..20 {
+            let again = threads.reduce_blocks(&policy, &reducer, &f);
+            assert_eq!(again.to_bits(), first.to_bits());
+        }
     }
 
     #[test]

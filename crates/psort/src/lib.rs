@@ -24,4 +24,7 @@ pub mod sorts;
 pub mod verify;
 
 pub use order::SortOrder;
-pub use sorts::{random_order, sort_pairs, standard_sort, strided_sort, tiled_strided_sort};
+pub use sorts::{
+    random_order, sort_pairs, sort_pairs_in, standard_sort, strided_sort, strided_sort_in,
+    tiled_strided_sort, tiled_strided_sort_in,
+};

@@ -8,18 +8,34 @@
 
 use crate::order::SortOrder;
 use pk::sort::{apply_permutation, histogram, min_max, permute_in_place, sort_permutation};
-use pk::space::Serial;
+use pk::space::{ExecSpace, Serial};
+use pk::RangePolicy;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Reorder `(keys, values)` by `order` (dispatcher over the algorithms).
 pub fn sort_pairs<V>(order: SortOrder, keys: &mut [u32], values: &mut [V]) {
+    sort_pairs_in(&Serial, order, keys, values);
+}
+
+/// [`sort_pairs`] with the O(N) key-rewrite passes run on `space`.
+///
+/// The output is identical to the serial functions for every space and
+/// worker count: occurrence ordinals are assigned by a deterministic
+/// block decomposition (per-block histograms, exclusive scan across
+/// blocks) rather than atomic fetch-adds.
+pub fn sort_pairs_in<V, S: ExecSpace>(
+    space: &S,
+    order: SortOrder,
+    keys: &mut [u32],
+    values: &mut [V],
+) {
     match order {
         SortOrder::Random => random_order(0xC0FFEE, keys, values),
         SortOrder::Standard => standard_sort(keys, values),
-        SortOrder::Strided => strided_sort(keys, values),
-        SortOrder::TiledStrided { tile } => tiled_strided_sort(tile, keys, values),
+        SortOrder::Strided => strided_sort_in(space, keys, values),
+        SortOrder::TiledStrided { tile } => tiled_strided_sort_in(space, tile, keys, values),
     }
 }
 
@@ -56,22 +72,21 @@ pub fn random_order<V>(seed: u64, keys: &mut [u32], values: &mut [V]) {
 /// they coincide when `min == 0` and the former is also correct for
 /// shifted key domains.
 pub fn strided_sort<V>(keys: &mut [u32], values: &mut [V]) {
+    strided_sort_in(&Serial, keys, values);
+}
+
+/// [`strided_sort`] with the key rewrite run on `space` (same output for
+/// every space — see [`sort_pairs_in`]).
+pub fn strided_sort_in<V, S: ExecSpace>(space: &S, keys: &mut [u32], values: &mut [V]) {
     assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
     if keys.len() <= 1 {
         return;
     }
-    let space = Serial;
     let keys64: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
-    let (min_k, max_k) = min_max(&space, &keys64).expect("nonempty");
+    let (min_k, max_k) = min_max(space, &keys64).expect("nonempty");
     let range = max_k - min_k + 1;
-    let mut counts = vec![0u64; range as usize];
-    let mut new_keys = vec![0u64; keys.len()];
-    for (i, &k) in keys64.iter().enumerate() {
-        let id = k - min_k;
-        let ordinal = counts[id as usize];
-        counts[id as usize] += 1;
-        new_keys[i] = id + ordinal * range;
-    }
+    let new_keys =
+        rewrite_keys_in(space, &keys64, min_k, range, &|id, ordinal| id + ordinal * range);
     let perm = sort_permutation(&new_keys);
     permute_in_place(&perm, keys);
     permute_in_place(&perm, values);
@@ -91,31 +106,88 @@ pub fn strided_sort<V>(keys: &mut [u32], values: &mut [V]) {
 /// keeps chunks disjoint in the rewritten key space for every input (the
 /// published form can interleave chunks when `id ≥ tile`).
 pub fn tiled_strided_sort<V>(tile: usize, keys: &mut [u32], values: &mut [V]) {
+    tiled_strided_sort_in(&Serial, tile, keys, values);
+}
+
+/// [`tiled_strided_sort`] with the key rewrite run on `space` (same
+/// output for every space — see [`sort_pairs_in`]).
+pub fn tiled_strided_sort_in<V, S: ExecSpace>(
+    space: &S,
+    tile: usize,
+    keys: &mut [u32],
+    values: &mut [V],
+) {
     assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
     assert!(tile >= 1, "tile size must be at least 1");
     if keys.len() <= 1 {
         return;
     }
-    let space = Serial;
     let keys64: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
-    let (min_k, max_k) = min_max(&space, &keys64).expect("nonempty");
+    let (min_k, max_k) = min_max(space, &keys64).expect("nonempty");
     let range = max_k - min_k + 1;
     let counts = histogram(&keys64, min_k, max_k);
     let max_r = counts.iter().copied().max().unwrap_or(0) as u64;
     let tile = tile as u64;
     let chunk_sz = tile * max_r;
-    let mut seen = vec![0u64; range as usize];
-    let mut new_keys = vec![0u64; keys.len()];
-    for (i, &k) in keys64.iter().enumerate() {
-        let id = k - min_k;
-        let t = seen[id as usize]; // this occurrence's tile ordinal
-        seen[id as usize] += 1;
-        let chunk = id / tile;
-        new_keys[i] = chunk * chunk_sz + t * tile + (id % tile);
-    }
+    let new_keys = rewrite_keys_in(space, &keys64, min_k, range, &|id, t| {
+        (id / tile) * chunk_sz + t * tile + (id % tile)
+    });
     let perm = sort_permutation(&new_keys);
     permute_in_place(&perm, keys);
     permute_in_place(&perm, values);
+}
+
+/// Rewrite every key to `rewrite(id, ordinal)` where `id = key − min_k`
+/// and `ordinal` counts the key's earlier occurrences — the paper's O(N)
+/// key-adjustment pass, parallelized deterministically.
+///
+/// Instead of the paper's `atomic_fetch_add` (whose ordinal assignment is
+/// scheduling-dependent), each block histograms its own keys, an
+/// exclusive scan across blocks gives every block its starting ordinal
+/// per key, and blocks then assign ordinals independently. The result
+/// equals the sequential left-to-right assignment for every space.
+fn rewrite_keys_in<S: ExecSpace>(
+    space: &S,
+    keys64: &[u64],
+    min_k: u64,
+    range: u64,
+    rewrite: &(dyn Fn(u64, u64) -> u64 + Sync),
+) -> Vec<u64> {
+    let n = keys64.len();
+    let blocks = RangePolicy::new(n).static_blocks(space.concurrency());
+    // pass 1: per-block key histograms
+    let mut hists: Vec<Vec<u64>> = vec![vec![0u64; range as usize]; blocks.len()];
+    space.parallel_for_mut(&mut hists, |b, hist| {
+        for &k in &keys64[blocks[b].clone()] {
+            hist[(k - min_k) as usize] += 1;
+        }
+    });
+    // pass 2: exclusive scan across blocks → each block's starting
+    // ordinal per key (small: blocks × range, serial)
+    let mut running = vec![0u64; range as usize];
+    for hist in hists.iter_mut() {
+        for (r, h) in running.iter_mut().zip(hist.iter_mut()) {
+            let count = *h;
+            *h = *r;
+            *r += count;
+        }
+    }
+    // pass 3: blocks assign ordinals independently from their bases
+    let starts: Vec<usize> = blocks.iter().map(|b| b.start).collect();
+    let mut new_keys = vec![0u64; n];
+    space.run_chunks_mut(&mut new_keys, blocks.len(), &|offset, out| {
+        let b = starts
+            .binary_search(&offset)
+            .expect("chunk boundaries follow static blocks");
+        let mut seen = hists[b].clone();
+        for (&k, o) in keys64[offset..offset + out.len()].iter().zip(out.iter_mut()) {
+            let id = k - min_k;
+            let ordinal = seen[id as usize];
+            seen[id as usize] += 1;
+            *o = rewrite(id, ordinal);
+        }
+    });
+    new_keys
 }
 
 /// Convenience: sort a copy of `keys` by `order` with carried indices,
@@ -220,6 +292,48 @@ mod tests {
         tiled_strided_sort(1 << 20, &mut a, &mut va);
         strided_sort(&mut b, &mut vb);
         assert_eq!(a, b, "one giant tile is exactly strided order");
+    }
+
+    #[test]
+    fn threaded_rewrite_matches_serial_exactly() {
+        use pk::Threads;
+        let threads = Threads::new(4);
+        for unique in [3u32, 16, 61] {
+            let keys = repeated_keys(unique, 7);
+            let mut ks = keys.clone();
+            let mut vs: Vec<usize> = (0..keys.len()).collect();
+            let mut kt = keys.clone();
+            let mut vt = vs.clone();
+            strided_sort(&mut ks, &mut vs);
+            strided_sort_in(&threads, &mut kt, &mut vt);
+            assert_eq!(ks, kt, "strided keys, unique={unique}");
+            assert_eq!(vs, vt, "strided values, unique={unique}");
+            let mut ks = keys.clone();
+            let mut vs: Vec<usize> = (0..keys.len()).collect();
+            let mut kt = keys.clone();
+            let mut vt = vs.clone();
+            tiled_strided_sort(4, &mut ks, &mut vs);
+            tiled_strided_sort_in(&threads, 4, &mut kt, &mut vt);
+            assert_eq!(ks, kt, "tiled keys, unique={unique}");
+            assert_eq!(vs, vt, "tiled values, unique={unique}");
+        }
+    }
+
+    #[test]
+    fn sort_pairs_in_dispatches_on_threads() {
+        use pk::Threads;
+        let threads = Threads::new(3);
+        let keys = repeated_keys(8, 3);
+        for order in SortOrder::fig7_set(4) {
+            let mut ks = keys.clone();
+            let mut vs: Vec<usize> = (0..keys.len()).collect();
+            let mut kt = keys.clone();
+            let mut vt = vs.clone();
+            sort_pairs(order, &mut ks, &mut vs);
+            sort_pairs_in(&threads, order, &mut kt, &mut vt);
+            assert_eq!(ks, kt, "{order}");
+            assert_eq!(vs, vt, "{order}");
+        }
     }
 
     #[test]

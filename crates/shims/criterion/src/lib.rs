@@ -1,0 +1,360 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the criterion API shape the workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `iter`, `iter_batched`,
+//! `Throughput::Elements`, `criterion_group!`/`criterion_main!`) with a
+//! plain wall-clock harness: calibrated inner loops, a median over
+//! `sample_size` samples, one `name ... time: ... ns/iter` line per
+//! benchmark. No statistical analysis, plots, or saved baselines.
+//!
+//! Mode selection matches criterion's CLI contract: `--bench` (what
+//! `cargo bench` passes) runs full measurements; anything else — notably
+//! `--test` from `cargo test`, or a direct run — executes each benchmark
+//! once so the target doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(2);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 24;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            quick: self.quick,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        let quick = self.quick;
+        run_one(&id.into_benchmark_id().label(), 10, None, quick, &mut f);
+        self
+    }
+}
+
+/// Per-element / per-byte normalization for reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times each
+/// routine call individually, so the hint is accepted but unused.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Input too large to amortize across a batch.
+    LargeInput,
+    /// Small input, batchable.
+    SmallInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (criterion's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self.to_string()), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: Some(self), parameter: None }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    quick: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Normalization used in the printed throughput column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.sample_size, self.throughput, self.quick, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label());
+        run_one(&label, self.sample_size, self.throughput, self.quick, &mut f);
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    quick: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { quick, sample_size, samples_ns: Vec::new() };
+    f(&mut b);
+    if quick {
+        println!("{label}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let mut ns = b.samples_ns;
+    if ns.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = ns[ns.len() / 2];
+    let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / (median * 1e-9))),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", si(n as f64 / (median * 1e-9))),
+        None => String::new(),
+    };
+    println!(
+        "{label}: time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    /// ns per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, amortizing timer overhead over a calibrated inner loop.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // calibrate: double the loop count until one batch ≥ target
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            elapsed = t.elapsed();
+            if elapsed >= CALIBRATION_TARGET || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        self.samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        for _ in 1..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup cost excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.quick {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Like `iter_batched` but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.quick {
+            black_box(routine(&mut setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_closure_once() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("g");
+        let mut calls = 0usize;
+        g.sample_size(50).bench_with_input(BenchmarkId::from_parameter(1), &(), |b, _| {
+            b.iter(|| calls += 1)
+        });
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut b = Bencher { quick: false, sample_size: 4, samples_ns: Vec::new() };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 4);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(8).label(), "8");
+        assert_eq!(BenchmarkId::new("axpy", "serial").label(), "axpy/serial");
+    }
+}

@@ -1,0 +1,452 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the workspace uses:
+//! [`Strategy`] over integer/float ranges, [`any`], tuples, and
+//! [`prop::collection::vec`]; the [`proptest!`] macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`. Differences from
+//! upstream, by design of this offline shim:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs as-is;
+//! * **no persistence** — `.proptest-regressions` files are not read or
+//!   written (pinned historical failures should be promoted to plain
+//!   `#[test]`s);
+//! * case count comes from `PROPTEST_CASES` (default 64) and the RNG seed
+//!   is derived from the test name, so every run is deterministic.
+
+use std::fmt::Debug;
+
+/// Per-test deterministic RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+}
+
+/// A value generator (the role of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Generated type.
+    type Value: Debug + Clone;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                (v as $t).clamp(self.start, self.end.next_down().max(self.start))
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+/// Full-domain generation for [`any`].
+pub trait Arbitrary: Debug + Clone {
+    /// Draw one value from the type's canonical strategy.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $e:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(
+    bool => |r| r.next_u64() & 1 == 1,
+    u8 => |r| r.next_u64() as u8,
+    u16 => |r| r.next_u64() as u16,
+    u32 => |r| r.next_u64() as u32,
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u64() as i8,
+    i16 => |r| r.next_u64() as i16,
+    i32 => |r| r.next_u64() as i32,
+    i64 => |r| r.next_u64() as i64,
+    isize => |r| r.next_u64() as isize,
+    f32 => |r| r.unit_f64() as f32,
+    f64 => |r| r.unit_f64()
+);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Exclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, 0..300)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + if span == 0 { 0 } else { rng.below(span) as usize };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` facade module (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic seed derived from the test name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Driver used by the [`proptest!`] expansion: runs `case` repeatedly,
+/// counting rejects, and panics on the first failing case.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let cases = case_count();
+    let max_rejects = cases.saturating_mul(64);
+    let mut rng = TestRng::new(seed_for(name));
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many input rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed after {passed} passing case(s): {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each function runs `PROPTEST_CASES` random
+/// cases; any `prop_assert*` failure panics with the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                let ($($arg,)+) = &strategies;
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::sample($arg, rng);)+
+                    // rendered before the body runs: the body may move the
+                    // generated values
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", &$arg));
+                        )+
+                        s
+                    };
+                    let outcome = {
+                        let body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(body)) {
+                            Ok(r) => r,
+                            Err(cause) => {
+                                let msg = if let Some(s) = cause.downcast_ref::<&str>() {
+                                    (*s).to_string()
+                                } else if let Some(s) = cause.downcast_ref::<String>() {
+                                    s.clone()
+                                } else {
+                                    "panic".to_string()
+                                };
+                                Err($crate::TestCaseError::Fail(format!("panicked: {msg}")))
+                            }
+                        }
+                    };
+                    outcome.map_err(|e| match e {
+                        $crate::TestCaseError::Fail(m) => $crate::TestCaseError::Fail(
+                            format!("{m}\n    inputs: {inputs}")
+                        ),
+                        reject => reject,
+                    })
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; on failure the case (with its
+/// inputs) is reported instead of a bare panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property (compares by reference, reports both
+/// values on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Prelude matching `proptest::prelude::*` for the used subset.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Generated values respect their range bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, f in -2.0f32..2.0, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&f));
+            let _ = b;
+        }
+
+        /// Vec strategies respect their size range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec((0u64..50, any::<i32>()), 2..30)) {
+            prop_assert!(v.len() >= 2 && v.len() < 30, "len {}", v.len());
+            for &(k, _) in &v {
+                prop_assert!(k < 50);
+            }
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::new(crate::seed_for("x"));
+        let mut b = crate::TestRng::new(crate::seed_for("x"));
+        assert_eq!(
+            (0..32).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..32).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", |_rng| {
+                Err(crate::TestCaseError::Fail("expected failure".into()))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("expected failure"), "{msg}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the external dependencies are replaced by local shims that provide
+//! exactly the API surface the workspace uses (see DESIGN.md §2). This
+//! shim covers:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` over integer and float ranges
+//!   and `gen` for a few primitive types,
+//! * [`SeedableRng`] with `from_seed` / `seed_from_u64` (the same
+//!   SplitMix64 seed expansion upstream rand uses),
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`.
+//!
+//! Generators are deterministic for a fixed seed, which is all the
+//! workspace relies on; the streams do **not** match upstream `rand`
+//! bit-for-bit.
+
+use std::ops::Range;
+
+/// Core random-number source: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1)
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                // rounding can land exactly on `end` for narrow ranges
+                (v as $t).clamp(self.start, self.end.next_down().max(self.start))
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// Uniform full-domain generation for `Rng::gen`.
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty => $e:expr),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                let f: fn(&mut R) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_standard!(
+    u32 => |r| r.next_u32(),
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i32 => |r| r.next_u32() as i32,
+    i64 => |r| r.next_u64() as i64,
+    bool => |r| r.next_u32() & 1 == 1,
+    f32 => |r| (r.next_u32() >> 8) as f32 / (1u32 << 24) as f32,
+    f64 => |r| (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+);
+
+/// User-facing sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Sample a value of `T` from its full/default domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` by expanding it with SplitMix64 (matching the
+    /// construction upstream rand documents for this method).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Small self-contained generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A fast xoshiro256**-style generator (the `SmallRng` analog).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            // avoid the all-zero state
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling (`SliceRandom`).
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Prelude matching `rand::prelude::*` for the used subset.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "{heads}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A dependency-free `#[derive(Serialize)]` (no `syn`/`quote`): the input
+//! `TokenStream` is walked by hand, the impl is rendered as source text and
+//! parsed back. Supported shapes — the only ones the workspace uses:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit (`Kind`) or struct-like
+//!   (`Kind { a: T }`).
+//!
+//! Anything else (tuple structs, tuple variants, generics) produces a
+//! `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error must parse"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (#[...]) and visibility (pub, pub(...)).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive(Serialize): expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive(Serialize): expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive(Serialize): generics on `{name}` are not supported by the offline shim"));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive(Serialize): `{name}` must be a brace-bodied {kind} (tuple/unit shapes unsupported)"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = named_fields(body)?;
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            ))
+        }
+        "enum" => {
+            let variants = enum_variants(body)?;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    None => format!(
+                        "{name}::{vname} => serde::Value::Str(String::from({vname:?}))"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![\
+                                 (String::from({vname:?}), serde::Value::Map(vec![{}]))\
+                             ])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            ))
+        }
+        other => Err(format!("derive(Serialize): unsupported item kind `{other}`")),
+    }
+}
+
+/// Parse `name: Type, ...` (named struct fields), skipping attributes,
+/// visibility, and type tokens (tracking `<...>` nesting through commas).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // skip field attributes and visibility
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("derive(Serialize): expected field name, got {tok:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("derive(Serialize): expected `:` after field, got {other:?}")),
+        }
+        // skip the type until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants: `Unit` or `Name { field: Type, ... }`.
+/// Returns `(variant, None)` for unit variants and `(variant, Some(fields))`
+/// for struct variants.
+type Variants = Vec<(String, Option<Vec<String>>)>;
+
+fn enum_variants(body: TokenStream) -> Result<Variants, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("derive(Serialize): expected variant name, got {tok:?}"));
+        };
+        let vname = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push((vname, Some(named_fields(g.stream())?)));
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "derive(Serialize): tuple variant `{vname}` is not supported by the offline shim"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push((vname, None));
+                i += 1;
+            }
+            None => {
+                variants.push((vname, None));
+            }
+            other => {
+                return Err(format!(
+                    "derive(Serialize): unexpected token after variant `{vname}`: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for `serde_json` (serialization only).
+//!
+//! Renders the `serde` shim's [`Value`](serde::Value) tree as JSON text.
+//! Floats that are finite and integral print with one decimal (`3.0`) the
+//! way upstream `serde_json` prints `f64` whole numbers; non-finite floats
+//! become `null` (upstream's behavior for non-finite values).
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Error type placeholder (the shim writer is infallible).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if !f.is_finite() {
+                out.push_str("null");
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items, indent, level),
+        Value::Map(entries) => write_map(out, entries, indent, level),
+    }
+}
+
+fn write_seq(out: &mut String, items: &[Value], indent: Option<usize>, level: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_value(out, item, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Value)], indent: Option<usize>, level: usize) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_string(out, k);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, v, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push('}');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_struct_rendering() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            count: usize,
+        }
+        let rows = vec![Row { name: "a".into(), count: 1 }];
+        let text = to_string_pretty(&rows).unwrap();
+        assert_eq!(
+            text,
+            "[\n  {\n    \"name\": \"a\",\n    \"count\": 1\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+    }
+}

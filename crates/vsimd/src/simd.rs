@@ -71,22 +71,22 @@ macro_rules! define_float_simd {
                 self.0[l]
             }
 
-            /// Fused multiply-add: `self * b + c` lane-wise.
-            ///
-            /// Lowers to an FMA instruction where the target has one and
-            /// to separate multiply+add elsewhere (never the software
-            /// `fma()` fallback).
+            /// Multiply-add: `self * b + c` lane-wise. On targets with a
+            /// hardware FMA unit this contracts to one fused instruction
+            /// (single rounding, the scalar `mul_add` contract); elsewhere
+            /// it compiles to separate multiply + add (two roundings)
+            /// rather than the catastrophically slow software `fma()`
+            /// libm routine — same policy as [`crate::math::fma_f32`].
+            /// The manual strategy must never codegen slower than auto.
             #[inline(always)]
             pub fn mul_add(self, b: Self, c: Self) -> Self {
                 let mut out = [0.0; N];
-                if cfg!(target_feature = "fma") {
-                    for l in 0..N {
-                        out[l] = self.0[l].mul_add(b.0[l], c.0[l]);
-                    }
-                } else {
-                    for l in 0..N {
-                        out[l] = self.0[l] * b.0[l] + c.0[l];
-                    }
+                for l in 0..N {
+                    out[l] = if cfg!(target_feature = "fma") {
+                        self.0[l].mul_add(b.0[l], c.0[l])
+                    } else {
+                        self.0[l] * b.0[l] + c.0[l]
+                    };
                 }
                 Self(out)
             }

@@ -26,7 +26,13 @@ proptest! {
             prop_assert_eq!((va / vb).lane(l), a[l] / b[l]);
             prop_assert_eq!(va.min(vb).lane(l), a[l].min(b[l]));
             prop_assert_eq!(va.max(vb).lane(l), a[l].max(b[l]));
-            prop_assert_eq!(va.mul_add(vb, va).lane(l), a[l].mul_add(b[l], a[l]));
+            // mul_add fuses only where hardware FMA exists (see simd.rs)
+            let fma = if cfg!(target_feature = "fma") {
+                a[l].mul_add(b[l], a[l])
+            } else {
+                a[l] * b[l] + a[l]
+            };
+            prop_assert_eq!(va.mul_add(vb, va).lane(l), fma);
         }
     }
 
@@ -135,9 +141,13 @@ proptest! {
         for (w, &xi) in want.iter_mut().zip(&x) {
             *w += a * xi;
         }
-        for (g, w) in y.iter().zip(&want) {
-            // FMA vs mul+add differ by at most one rounding of the product
-            prop_assert!((g - w).abs() <= (w.abs() * 1e-6).max(1e-6));
+        for ((g, w), &xi) in y.iter().zip(&want).zip(&x) {
+            // FMA vs mul+add differ by at most one rounding of the
+            // *product* a·xi — the result can be much smaller than the
+            // product when the update nearly cancels y, so the bound must
+            // scale with the product, not with the result
+            let scale = (a * xi).abs().max(w.abs());
+            prop_assert!((g - w).abs() <= (scale * 1e-6).max(1e-6));
         }
     }
 
