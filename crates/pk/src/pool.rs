@@ -26,6 +26,7 @@
 //! ([`global`]) so `Threads::new(4)` constructed repeatedly (e.g. in a
 //! test loop) reuses one set of OS threads instead of respawning.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
@@ -64,6 +65,36 @@ struct Shared {
     done_cv: Condvar,
 }
 
+thread_local! {
+    /// The `Shared` of the pool whose task is currently executing on this
+    /// thread (null when none). Distinguishes true reentrancy — `run`
+    /// called from inside a task of the *same* pool, which can never make
+    /// progress — from two independent threads dispatching concurrently,
+    /// which is legal and serialized by [`WorkerPool::dispatch`].
+    static ACTIVE_POOL: Cell<*const Shared> = const { Cell::new(std::ptr::null()) };
+}
+
+/// RAII marker: records `shared` as this thread's active pool for the
+/// duration of one task invocation, restoring the previous value on drop
+/// (including via panic unwind).
+struct TaskScope {
+    prev: *const Shared,
+}
+
+impl TaskScope {
+    fn enter(shared: &Shared) -> Self {
+        let prev = ACTIVE_POOL.with(|c| c.replace(shared as *const Shared));
+        TaskScope { prev }
+    }
+}
+
+impl Drop for TaskScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTIVE_POOL.with(|c| c.set(prev));
+    }
+}
+
 impl Shared {
     /// Lock the state, ignoring poisoning: a panicking kernel must not
     /// wedge the pool (panics are re-raised by `run` itself).
@@ -75,6 +106,11 @@ impl Shared {
 /// A fixed set of persistent worker threads (see module docs).
 pub struct WorkerPool {
     shared: Arc<Shared>,
+    /// Serializes whole dispatches: pools are shared process-wide (see
+    /// [`global`]), so independent threads may call [`run`](Self::run)
+    /// concurrently; the second caller waits here until the first
+    /// dispatch fully completes.
+    dispatch: Mutex<()>,
     handles: Vec<JoinHandle<()>>,
     lanes: usize,
 }
@@ -110,7 +146,7 @@ impl WorkerPool {
                     .expect("spawning pool worker")
             })
             .collect();
-        WorkerPool { shared, handles, lanes }
+        WorkerPool { shared, dispatch: Mutex::new(()), handles, lanes }
     }
 
     /// Number of lanes (caller + spawned workers).
@@ -123,13 +159,24 @@ impl WorkerPool {
     /// the panic is raised here — after every other lane has completed, so
     /// data borrowed by `task` is never used past this call.
     ///
-    /// Dispatch is not reentrant: calling `run` from inside a task on the
-    /// same pool is a programming error and panics.
+    /// Concurrent dispatch from independent threads is allowed (pools are
+    /// shared process-wide, see [`global`]): the second caller blocks
+    /// until the first dispatch completes. Dispatch is not *reentrant*,
+    /// though — calling `run` from inside a task on the same pool can
+    /// never make progress and panics.
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
         if self.handles.is_empty() {
             task(0);
             return;
         }
+        assert!(
+            ACTIVE_POOL.with(|c| c.get()) != Arc::as_ptr(&self.shared),
+            "nested dispatch on the same WorkerPool"
+        );
+        // Serialize with any dispatch already in flight from another
+        // thread. Poisoning is ignored: a panicking kernel is re-raised
+        // by `run` itself and must not wedge the pool.
+        let _dispatch = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
         // Erase the borrow lifetime: workers only dereference the pointer
         // between the notify below and the `remaining == 0` wait, during
         // which this frame (and therefore `task`'s borrows) is pinned.
@@ -137,14 +184,17 @@ impl WorkerPool {
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
         {
             let mut st = self.shared.lock();
-            assert!(st.job.is_none(), "nested dispatch on the same WorkerPool");
+            debug_assert!(st.job.is_none(), "dispatch mutex must serialize jobs");
             st.job = Some(Job { task: erased });
             st.epoch = st.epoch.wrapping_add(1);
             st.remaining = self.handles.len();
             st.worker_panics = 0;
             self.shared.work_cv.notify_all();
         }
-        let mine = catch_unwind(AssertUnwindSafe(|| task(0)));
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = TaskScope::enter(&self.shared);
+            task(0)
+        }));
         let worker_panics = {
             let mut st = self.shared.lock();
             while st.remaining > 0 {
@@ -200,7 +250,11 @@ fn worker_loop(shared: &Shared, lane: usize) {
         // SAFETY: `run` keeps the caller frame alive until `remaining`
         // reaches 0, which happens only after this call returns.
         let task = unsafe { &*job.task };
-        let panicked = catch_unwind(AssertUnwindSafe(|| task(lane))).is_err();
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = TaskScope::enter(shared);
+            task(lane)
+        }))
+        .is_err();
         let mut st = shared.lock();
         if panicked {
             st.worker_panics += 1;
@@ -250,6 +304,9 @@ pub fn global(lanes: usize) -> Arc<WorkerPool> {
     if let Some(pool) = map.get(&lanes).and_then(Weak::upgrade) {
         return pool;
     }
+    // Drop stale entries for pools whose every handle has gone away, so
+    // drop/recreate loops don't grow the map without bound.
+    map.retain(|_, weak| weak.strong_count() > 0);
     let pool = Arc::new(WorkerPool::new(lanes));
     map.insert(lanes, Arc::downgrade(&pool));
     pool
@@ -328,6 +385,77 @@ mod tests {
         let pool = WorkerPool::new(4);
         pool.run(&|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_independent_threads_serializes() {
+        // Regression: pools are shared process-wide, so two Threads
+        // handles may dispatch from different OS threads at once. That
+        // used to trip the nested-dispatch assert; it must now serialize.
+        let pool = Arc::new(WorkerPool::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(&|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 50 * 4);
+    }
+
+    #[test]
+    fn reentrant_dispatch_from_caller_lane_panics() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 0 {
+                    pool.run(&|_| {});
+                }
+            });
+        }));
+        assert!(result.is_err(), "reentrant dispatch must panic, not deadlock");
+        // the pool stays usable afterwards
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn reentrant_dispatch_from_worker_lane_panics() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 1 {
+                    pool.run(&|_| {});
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker-lane reentrancy must panic, not deadlock");
+    }
+
+    #[test]
+    fn registry_prunes_dead_entries() {
+        // dead Weak entries are cleared when a pool is (re)created
+        drop(global(11));
+        drop(global(13));
+        let _live = global(12);
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let map = registry.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!map.contains_key(&11), "dead 11-lane entry must be pruned");
+        assert!(!map.contains_key(&13), "dead 13-lane entry must be pruned");
+        assert!(map.contains_key(&12));
     }
 
     #[test]
