@@ -10,7 +10,7 @@
 //! push cannot beat serial — the dispatch-latency ratio is then the only
 //! meaningful signal, and the push rows document the floor honestly.
 
-use crate::timing::{black_box, median_time};
+use crate::timing::{black_box, median_time_named};
 use pk::atomic::ScatterMode;
 use pk::{ExecSpace, Serial, Threads, WorkerPool};
 use serde::Serialize;
@@ -59,7 +59,7 @@ pub struct Report {
 fn pool_dispatch_ns(lanes: usize) -> f64 {
     let pool = WorkerPool::new(lanes);
     let iters = 200u32;
-    median_time(2, 10, || {
+    median_time_named("bench.dispatch.pool", 2, 10, || {
         for _ in 0..iters {
             pool.run(&|lane| {
                 black_box(lane);
@@ -71,7 +71,7 @@ fn pool_dispatch_ns(lanes: usize) -> f64 {
 
 fn spawn_dispatch_ns(lanes: usize) -> f64 {
     let iters = 50u32;
-    median_time(1, 10, || {
+    median_time_named("bench.dispatch.spawn", 1, 10, || {
         for _ in 0..iters {
             std::thread::scope(|s| {
                 for _ in 1..lanes {
@@ -91,7 +91,7 @@ fn push_rate<S: ExecSpace>(space: &S, workers: usize, mode: ScatterMode) -> f64 
     let acc = Accumulator::new(grid.cells(), workers, mode);
     let n = sim.particle_count();
     let mut species = sim.species.clone();
-    let t = median_time(1, 7, || {
+    let t = median_time_named("bench.dispatch.push", 1, 7, || {
         acc.reset();
         for sp in &mut species {
             push_species_on(space, Strategy::Auto, &grid, sp, &interps, &acc);
@@ -177,6 +177,29 @@ mod tests {
         // lane-0-only pools run inline: no parking, no hand-off
         let ns = pool_dispatch_ns(1);
         assert!((0.0..50_000.0).contains(&ns), "inline dispatch took {ns} ns");
+    }
+
+    #[test]
+    fn enabled_profile_reports_nonzero_dispatch_totals() {
+        let _g = crate::telemetry_test_lock();
+        let dispatches0 = telemetry::counter("pk.pool.dispatches");
+        telemetry::set_enabled(true);
+        let ns = pool_dispatch_ns(2);
+        telemetry::set_enabled(false);
+        assert!(ns > 0.0);
+        // 200 iters × (2 warmup + 10 reps) dispatches crossed the pool
+        let delta = telemetry::counter("pk.pool.dispatches") - dispatches0;
+        assert!(delta >= 200, "pool dispatch counter only moved by {delta}");
+        let snap = telemetry::snapshot();
+        let stats = telemetry::aggregate(&snap.events);
+        for name in ["bench.dispatch.pool", "pk.pool.dispatch"] {
+            let s = stats
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no {name} rows in summary"));
+            assert!(s.total_ns > 0, "{name} total is zero");
+            assert!(s.count > 0);
+        }
     }
 
     #[test]

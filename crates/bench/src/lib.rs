@@ -21,6 +21,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod push;
 pub mod table1;
 pub mod timing;
 
@@ -74,6 +75,14 @@ pub fn fmt_time(s: f64) -> String {
     } else {
         format!("{:.0} ns", s * 1e9)
     }
+}
+
+/// Serializes tests that flip the process-global telemetry flag so they
+/// cannot race each other (or poison a concurrent measurement).
+#[cfg(test)]
+pub(crate) fn telemetry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]

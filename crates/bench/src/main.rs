@@ -15,9 +15,16 @@
 //!   all    everything above
 //!
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
+//!   push              profiled push loop: spans reconciled vs wall time
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
+//!
+//! options:
+//!   --profile[=path]  enable telemetry; print the span summary table,
+//!                     write a Chrome/Perfetto trace to `path` (default
+//!                     trace.json) and a machine-readable summary to
+//!                     `results/telemetry.json`
 //! ```
 //!
 //! JSON copies of every result land in `results/` (override with
@@ -48,6 +55,7 @@ fn run_target(name: &str) -> bool {
         }
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
+        "push" => bench::save_json("push", &bench::push::run()),
         other => {
             eprintln!("unknown target: {other}");
             return false;
@@ -69,20 +77,60 @@ fn run_target(name: &str) -> bool {
     }
 }
 
+/// Print the span summary and write the Chrome-trace + JSON exports.
+fn write_profile(trace_path: &str) -> std::io::Result<()> {
+    let snap = telemetry::snapshot();
+    let stats = telemetry::aggregate(&snap.events);
+    print!("{}", telemetry::format_summary(&stats));
+    std::fs::write(trace_path, telemetry::chrome_trace(&snap.events))?;
+    let dir = bench::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let summary_path = dir.join("telemetry.json");
+    std::fs::write(&summary_path, telemetry::summary_json(&snap))?;
+    println!(
+        "profile: {} span(s) → {trace_path} (load in ui.perfetto.dev) + {}",
+        snap.events.len(),
+        summary_path.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        println!("usage: repro <target>...   targets: {} all", TARGETS.join(" "));
+    let mut profile: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--profile" {
+            profile = Some("trace.json".into());
+        } else if let Some(path) = arg.strip_prefix("--profile=") {
+            profile = Some(path.to_string());
+        } else {
+            targets.push(arg);
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|a| a == "-h" || a == "--help") {
+        println!(
+            "usage: repro [--profile[=path]] <target>...   targets: {} all",
+            TARGETS.join(" ")
+        );
         return ExitCode::SUCCESS;
     }
+    if profile.is_some() {
+        telemetry::set_enabled(true);
+    }
     let mut ok = true;
-    for arg in &args {
+    for arg in &targets {
         if arg == "all" {
             for t in TARGETS {
                 ok &= run_target(t);
             }
         } else {
             ok &= run_target(arg);
+        }
+    }
+    if let Some(path) = &profile {
+        if let Err(e) = write_profile(path) {
+            eprintln!("failed to write profile: {e}");
+            ok = false;
         }
     }
     if ok {

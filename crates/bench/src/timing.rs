@@ -3,24 +3,38 @@
 //! Criterion benches (in `benches/`) provide statistically careful
 //! numbers; the harness needs only quick, stable medians to print
 //! figure-shaped output, so this module does warmup + median-of-reps.
-
-use std::time::Instant;
+//!
+//! Timing runs on [`telemetry::timed`], so every measured repetition
+//! shares the profiler's monotonic clock and — when profiling is
+//! enabled — lands in the trace as a named span alongside the kernel
+//! spans it encloses. When profiling is off `timed` still measures but
+//! records nothing, so the harness output is identical either way.
 
 /// Median wall time of `reps` invocations of `f`, after `warmup` unmeasured
-/// invocations. Returns seconds.
-pub fn median_time(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+/// invocations, with each measured rep recorded as a `name` span when
+/// profiling is enabled. Returns seconds.
+pub fn median_time_named(
+    name: &'static str,
+    warmup: usize,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> f64 {
     for _ in 0..warmup {
         f();
     }
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
+            let ((), ns) = telemetry::timed(name, &mut f);
+            ns as f64 / 1e9
         })
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
+}
+
+/// [`median_time_named`] under the generic `bench.rep` span name.
+pub fn median_time(warmup: usize, reps: usize, f: impl FnMut()) -> f64 {
+    median_time_named("bench.rep", warmup, reps, f)
 }
 
 /// Keep a value alive and opaque to the optimizer (stable-Rust black box).
@@ -52,5 +66,20 @@ mod tests {
     fn zero_reps_clamped() {
         let t = median_time(0, 0, || {});
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn named_reps_recorded_when_profiling() {
+        let _g = crate::telemetry_test_lock();
+        telemetry::set_enabled(true);
+        let t = median_time_named("bench.timing-test-rep", 0, 3, || {
+            black_box((0..10_000u64).fold(0u64, |a, i| a ^ i));
+        });
+        telemetry::set_enabled(false);
+        assert!(t >= 0.0);
+        let snap = telemetry::snapshot();
+        let reps =
+            snap.events.iter().filter(|e| e.name == "bench.timing-test-rep").count();
+        assert!(reps >= 3, "expected ≥3 recorded reps, saw {reps}");
     }
 }

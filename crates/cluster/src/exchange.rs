@@ -84,8 +84,12 @@ impl ClusterSim {
             .map(|s| s.cell.iter().map(|&c| self.owner_of_cell[c as usize]).collect())
             .collect();
         let push = self.sim.step();
+        let _span = telemetry::span("cluster.exchange").arg("ranks", self.decomp.ranks());
         let mut stats = MigrationStats::default();
         let mut out_of = vec![0usize; self.decomp.ranks()];
+        // distinct (was → now) rank pairs this step ≈ point-to-point
+        // messages a real exchange would send
+        let mut pairs = std::collections::BTreeSet::new();
         for (si, s) in self.sim.species.iter().enumerate() {
             stats.total += s.len();
             for (p, &c) in s.cell.iter().enumerate() {
@@ -94,10 +98,18 @@ impl ClusterSim {
                 if now != was {
                     stats.migrants += 1;
                     out_of[was as usize] += 1;
+                    pairs.insert((was, now));
                 }
             }
         }
         stats.max_out_of_rank = out_of.into_iter().max().unwrap_or(0);
+        if telemetry::enabled() {
+            telemetry::count("cluster.migrants", stats.migrants as u64);
+            // payload a real exchange would move: the full particle
+            // record (7×f32 phase-space + u32 cell = 32 bytes)
+            telemetry::count("cluster.bytes_moved", stats.migrants as u64 * 32);
+            telemetry::count("cluster.messages", pairs.len() as u64);
+        }
         (push, stats)
     }
 
@@ -163,6 +175,23 @@ mod tests {
         let f_few = few.measure_migration(3);
         let f_many = many.measure_migration(3);
         assert!(f_many > f_few, "{f_many} vs {f_few}");
+    }
+
+    #[test]
+    fn exchange_counters_recorded_when_profiling() {
+        let migrants0 = telemetry::counter("cluster.migrants");
+        let bytes0 = telemetry::counter("cluster.bytes_moved");
+        let msgs0 = telemetry::counter("cluster.messages");
+        telemetry::set_enabled(true);
+        let mut cs = ClusterSim::new(sim(), 8);
+        let (_, m) = cs.step();
+        telemetry::set_enabled(false);
+        let dm = telemetry::counter("cluster.migrants") - migrants0;
+        let db = telemetry::counter("cluster.bytes_moved") - bytes0;
+        let dmsg = telemetry::counter("cluster.messages") - msgs0;
+        assert!(dm >= m.migrants as u64, "migrants counter {dm} < {}", m.migrants);
+        assert!(db >= m.migrants as u64 * 32, "bytes counter {db}");
+        assert!(dmsg >= 1, "at least one rank pair exchanged");
     }
 
     #[test]

@@ -119,37 +119,55 @@ impl Simulation {
     /// via [`Simulation::configure_scatter`] with at least
     /// `space.concurrency()` workers.
     pub fn step_on<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+        let _step_span =
+            telemetry::span("sim.step").arg("step", self.step).arg("space", space.name());
         // periodic sort, as VPIC decks schedule it
         if let Some(order) = self.sort_order {
             if self.sort_interval > 0 && self.step.is_multiple_of(self.sort_interval as u64) {
+                let _s = telemetry::span("sim.sort").arg("order", order);
                 self.sort_particles(order);
             }
         }
-        let interps = load_interpolators(&self.fields);
-        self.fields.clear_j();
-        self.acc.reset();
+        let interps = {
+            let _s = telemetry::span("sim.interpolate");
+            load_interpolators(&self.fields)
+        };
         let mut stats = PushStats::default();
-        for s in &mut self.species {
-            let st = push_species_on(space, self.strategy, &self.grid, s, &interps, &self.acc);
-            stats.pushed += st.pushed;
-            stats.crossings += st.crossings;
-        }
-        self.acc.unload(&mut self.fields);
-        // laser antenna: driven current on the injection plane
-        if let Some(l) = &self.laser {
-            let t = self.time() as f32;
-            let drive = l.amplitude * (l.omega * t).sin();
-            for iy in 0..self.grid.ny {
-                for iz in 0..self.grid.nz {
-                    let v = self.grid.voxel(l.plane, iy, iz);
-                    self.fields.jz[v] += drive;
-                }
+        {
+            let _s = telemetry::span("sim.push").arg("species", self.species.len());
+            self.fields.clear_j();
+            self.acc.reset();
+            for s in &mut self.species {
+                let st =
+                    push_species_on(space, self.strategy, &self.grid, s, &interps, &self.acc);
+                stats.pushed += st.pushed;
+                stats.crossings += st.crossings;
             }
         }
-        // leapfrog field advance
-        self.fields.advance_b(0.5);
-        self.fields.advance_e();
-        self.fields.advance_b(0.5);
+        telemetry::count("sim.particles_pushed", stats.pushed as u64);
+        telemetry::count("sim.cell_crossings", stats.crossings as u64);
+        {
+            let _s = telemetry::span("sim.accumulate");
+            self.acc.unload(&mut self.fields);
+        }
+        {
+            let _s = telemetry::span("sim.field_solve");
+            // laser antenna: driven current on the injection plane
+            if let Some(l) = &self.laser {
+                let t = self.time() as f32;
+                let drive = l.amplitude * (l.omega * t).sin();
+                for iy in 0..self.grid.ny {
+                    for iz in 0..self.grid.nz {
+                        let v = self.grid.voxel(l.plane, iy, iz);
+                        self.fields.jz[v] += drive;
+                    }
+                }
+            }
+            // leapfrog field advance
+            self.fields.advance_b(0.5);
+            self.fields.advance_e();
+            self.fields.advance_b(0.5);
+        }
         self.step += 1;
         stats
     }
@@ -172,6 +190,7 @@ impl Simulation {
 
     /// Energy bookkeeping snapshot.
     pub fn energies(&self) -> EnergySnapshot {
+        let _s = telemetry::span("sim.diagnostics");
         EnergySnapshot::capture(self)
     }
 

@@ -146,6 +146,7 @@ impl WorkerPool {
                     .expect("spawning pool worker")
             })
             .collect();
+        telemetry::count("pk.pool.created", 1);
         WorkerPool { shared, dispatch: Mutex::new(()), handles, lanes }
     }
 
@@ -164,7 +165,31 @@ impl WorkerPool {
     /// until the first dispatch completes. Dispatch is not *reentrant*,
     /// though — calling `run` from inside a task on the same pool can
     /// never make progress and panics.
+    ///
+    /// When profiling is enabled (`PK_PROFILE` / `telemetry::set_enabled`)
+    /// every dispatch opens a `pk.pool.dispatch` span and records each
+    /// lane's busy time on that lane's own trace track — lane imbalance is
+    /// read directly off the per-lane `<kernel>::lane` rows.
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        if !telemetry::enabled() {
+            return self.run_inner(task);
+        }
+        telemetry::count("pk.pool.dispatches", 1);
+        // label lane busy-time with the kernel being dispatched (the
+        // innermost open span on the calling thread, e.g. "pk.parallel_for"
+        // under a "sim.push" phase)
+        let kernel = telemetry::current_label().unwrap_or_else(|| "pk.dispatch".to_string());
+        let lane_label = format!("{kernel}::lane");
+        let _span =
+            telemetry::span("pk.pool.dispatch").arg("lanes", self.lanes).arg("kernel", kernel);
+        let lane_label = &lane_label;
+        self.run_inner(&move |lane| {
+            let _busy = telemetry::lane_span(lane_label.clone(), lane);
+            task(lane);
+        });
+    }
+
+    fn run_inner(&self, task: &(dyn Fn(usize) + Sync)) {
         if self.handles.is_empty() {
             task(0);
             return;
@@ -211,6 +236,7 @@ impl WorkerPool {
             resume_unwind(cause);
         }
         if worker_panics > 0 {
+            telemetry::count("pk.pool.worker_panics", worker_panics as u64);
             panic!("{worker_panics} pool worker(s) panicked during dispatch");
         }
     }
@@ -230,6 +256,8 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared, lane: usize) {
+    // pool workers render on the trace track of their lane index
+    telemetry::set_lane(lane);
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -306,7 +334,9 @@ pub fn global(lanes: usize) -> Arc<WorkerPool> {
     }
     // Drop stale entries for pools whose every handle has gone away, so
     // drop/recreate loops don't grow the map without bound.
+    let before = map.len();
     map.retain(|_, weak| weak.strong_count() > 0);
+    telemetry::count("pk.pool.registry_pruned", (before - map.len()) as u64);
     let pool = Arc::new(WorkerPool::new(lanes));
     map.insert(lanes, Arc::downgrade(&pool));
     pool
@@ -456,6 +486,41 @@ mod tests {
         assert!(!map.contains_key(&11), "dead 11-lane entry must be pruned");
         assert!(!map.contains_key(&13), "dead 13-lane entry must be pruned");
         assert!(map.contains_key(&12));
+    }
+
+    #[test]
+    fn pool_lifetime_counters_exported() {
+        // extends the PR 1 registry-prune regression test: the prune is
+        // now observable as a telemetry counter across a drop/recreate
+        // loop, alongside created/dispatch/panic lifetime counters
+        let was = telemetry::enabled();
+        telemetry::set_enabled(true);
+        let created0 = telemetry::counter("pk.pool.created");
+        let pruned0 = telemetry::counter("pk.pool.registry_pruned");
+        let dispatch0 = telemetry::counter("pk.pool.dispatches");
+        let panics0 = telemetry::counter("pk.pool.worker_panics");
+        for _ in 0..5 {
+            // each recreate finds the previous iteration's Weak entry dead
+            // and prunes it before inserting the fresh pool
+            drop(global(17));
+        }
+        let pool = WorkerPool::new(2);
+        pool.run(&|_| {});
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 1 {
+                    panic!("telemetry counter probe");
+                }
+            });
+        }));
+        telemetry::set_enabled(was);
+        assert!(telemetry::counter("pk.pool.created") >= created0 + 6);
+        assert!(
+            telemetry::counter("pk.pool.registry_pruned") >= pruned0 + 4,
+            "every recreate after the first must prune the dead 17-lane entry"
+        );
+        assert!(telemetry::counter("pk.pool.dispatches") >= dispatch0 + 2);
+        assert!(telemetry::counter("pk.pool.worker_panics") > panics0);
     }
 
     #[test]

@@ -12,6 +12,39 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+fn sched_name(s: Schedule) -> &'static str {
+    match s {
+        Schedule::Static => "static",
+        Schedule::Dynamic => "dynamic",
+    }
+}
+
+/// Kokkos-style profiling hook at the dispatch boundary: every pattern
+/// opens a named span carrying the backend, worker count, range length,
+/// schedule, and (when one is open) the enclosing kernel label — so every
+/// kernel in the stack is observable for free when `PK_PROFILE` is set.
+fn dispatch_span(
+    op: &'static str,
+    space: &str,
+    workers: usize,
+    len: usize,
+    schedule: &'static str,
+) -> telemetry::Span {
+    if !telemetry::enabled() {
+        return telemetry::Span::disabled();
+    }
+    let kernel = telemetry::current_label();
+    let s = telemetry::span(op)
+        .arg("space", space)
+        .arg("workers", workers)
+        .arg("len", len)
+        .arg("schedule", schedule);
+    match kernel {
+        Some(k) => s.arg("kernel", k),
+        None => s,
+    }
+}
+
 /// A backend capable of executing the parallel patterns.
 ///
 /// The two required primitives are [`ExecSpace::run_blocks`] (read-only
@@ -54,6 +87,13 @@ pub trait ExecSpace: Sync {
     /// `Kokkos::parallel_for`: invoke `f(i)` for every index in the policy.
     fn parallel_for<P: Into<RangePolicy>>(&self, policy: P, f: impl Fn(usize) + Sync) {
         let policy = policy.into();
+        let _hook = dispatch_span(
+            "pk.parallel_for",
+            self.name(),
+            self.concurrency(),
+            policy.len(),
+            sched_name(policy.schedule),
+        );
         match policy.schedule {
             Schedule::Static => {
                 self.run_blocks(&policy, &|block| {
@@ -95,6 +135,8 @@ pub trait ExecSpace: Sync {
     /// `f(i, &mut data[i])` for every element, with disjoint mutable access.
     fn parallel_for_mut<T: Send>(&self, data: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
         let parts = self.concurrency();
+        let _hook =
+            dispatch_span("pk.parallel_for_mut", self.name(), parts, data.len(), "static");
         self.run_chunks_mut(data, parts, &|offset, chunk| {
             for (k, item) in chunk.iter_mut().enumerate() {
                 f(offset + k, item);
@@ -110,6 +152,8 @@ pub trait ExecSpace: Sync {
         parts: usize,
         f: impl Fn(usize, &mut [T]) + Sync,
     ) {
+        let _hook =
+            dispatch_span("pk.parallel_for_chunks", self.name(), parts, data.len(), "static");
         self.run_chunks_mut(data, parts, &f);
     }
 
@@ -121,6 +165,13 @@ pub trait ExecSpace: Sync {
         f: impl Fn(usize) -> R::Value + Sync,
     ) -> R::Value {
         let policy = policy.into();
+        let _hook = dispatch_span(
+            "pk.parallel_reduce",
+            self.name(),
+            self.concurrency(),
+            policy.len(),
+            sched_name(policy.schedule),
+        );
         self.reduce_blocks(&policy, &reducer, &|block| {
             let mut acc = reducer.identity();
             for i in block {
@@ -134,6 +185,13 @@ pub trait ExecSpace: Sync {
     /// returning the grand total. `out.len()` must equal `input.len()`.
     fn parallel_scan<T: Scalar>(&self, input: &[T], out: &mut [T]) -> T {
         assert_eq!(input.len(), out.len(), "parallel_scan extent mismatch");
+        let _hook = dispatch_span(
+            "pk.parallel_scan",
+            self.name(),
+            self.concurrency(),
+            input.len(),
+            "static",
+        );
         let n = input.len();
         if n == 0 {
             return T::ZERO;

@@ -31,6 +31,10 @@ pub fn sort_pairs_in<V, S: ExecSpace>(
     keys: &mut [u32],
     values: &mut [V],
 ) {
+    let _s = telemetry::span("psort.sort_pairs")
+        .arg("order", order)
+        .arg("n", keys.len())
+        .arg("space", space.name());
     match order {
         SortOrder::Random => random_order(0xC0FFEE, keys, values),
         SortOrder::Standard => standard_sort(keys, values),
@@ -42,7 +46,11 @@ pub fn sort_pairs_in<V, S: ExecSpace>(
 /// Standard classification: stable ascending sort by key.
 pub fn standard_sort<V>(keys: &mut [u32], values: &mut [V]) {
     assert_eq!(keys.len(), values.len(), "key/value extent mismatch");
-    let perm = sort_permutation(keys);
+    let perm = {
+        let _s = telemetry::span("psort.sort_by_key");
+        sort_permutation(keys)
+    };
+    let _s = telemetry::span("psort.permute");
     permute_in_place(&perm, keys);
     permute_in_place(&perm, values);
 }
@@ -87,7 +95,11 @@ pub fn strided_sort_in<V, S: ExecSpace>(space: &S, keys: &mut [u32], values: &mu
     let range = max_k - min_k + 1;
     let new_keys =
         rewrite_keys_in(space, &keys64, min_k, range, &|id, ordinal| id + ordinal * range);
-    let perm = sort_permutation(&new_keys);
+    let perm = {
+        let _s = telemetry::span("psort.sort_by_key");
+        sort_permutation(&new_keys)
+    };
+    let _s = telemetry::span("psort.permute");
     permute_in_place(&perm, keys);
     permute_in_place(&perm, values);
 }
@@ -132,7 +144,11 @@ pub fn tiled_strided_sort_in<V, S: ExecSpace>(
     let new_keys = rewrite_keys_in(space, &keys64, min_k, range, &|id, t| {
         (id / tile) * chunk_sz + t * tile + (id % tile)
     });
-    let perm = sort_permutation(&new_keys);
+    let perm = {
+        let _s = telemetry::span("psort.sort_by_key");
+        sort_permutation(&new_keys)
+    };
+    let _s = telemetry::span("psort.permute");
     permute_in_place(&perm, keys);
     permute_in_place(&perm, values);
 }
@@ -157,22 +173,29 @@ fn rewrite_keys_in<S: ExecSpace>(
     let blocks = RangePolicy::new(n).static_blocks(space.concurrency());
     // pass 1: per-block key histograms
     let mut hists: Vec<Vec<u64>> = vec![vec![0u64; range as usize]; blocks.len()];
-    space.parallel_for_mut(&mut hists, |b, hist| {
-        for &k in &keys64[blocks[b].clone()] {
-            hist[(k - min_k) as usize] += 1;
-        }
-    });
+    {
+        let _s = telemetry::span("psort.histogram").arg("n", n).arg("range", range);
+        space.parallel_for_mut(&mut hists, |b, hist| {
+            for &k in &keys64[blocks[b].clone()] {
+                hist[(k - min_k) as usize] += 1;
+            }
+        });
+    }
     // pass 2: exclusive scan across blocks → each block's starting
     // ordinal per key (small: blocks × range, serial)
-    let mut running = vec![0u64; range as usize];
-    for hist in hists.iter_mut() {
-        for (r, h) in running.iter_mut().zip(hist.iter_mut()) {
-            let count = *h;
-            *h = *r;
-            *r += count;
+    {
+        let _s = telemetry::span("psort.scan").arg("blocks", hists.len());
+        let mut running = vec![0u64; range as usize];
+        for hist in hists.iter_mut() {
+            for (r, h) in running.iter_mut().zip(hist.iter_mut()) {
+                let count = *h;
+                *h = *r;
+                *r += count;
+            }
         }
     }
     // pass 3: blocks assign ordinals independently from their bases
+    let _s = telemetry::span("psort.rewrite").arg("n", n);
     let starts: Vec<usize> = blocks.iter().map(|b| b.start).collect();
     let mut new_keys = vec![0u64; n];
     space.run_chunks_mut(&mut new_keys, blocks.len(), &|offset, out| {

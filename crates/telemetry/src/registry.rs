@@ -1,0 +1,182 @@
+//! The global event/counter registry: sharded mutexes so concurrent
+//! worker lanes never contend on one lock, bounded so an instrumented
+//! soak run cannot grow memory without limit.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span name (aggregation key for the summary).
+    pub name: String,
+    /// Category: `"span"` (scoped region) or `"lane"` (per-lane busy time).
+    pub cat: &'static str,
+    /// Track the event renders on (worker lane, or a per-thread id).
+    pub track: u32,
+    /// Start, nanoseconds on the telemetry clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key/value annotations (kernel name, range length, schedule, …).
+    pub args: Vec<(&'static str, String)>,
+}
+
+const SHARD_COUNT: usize = 16;
+
+/// Per-shard event cap. Beyond it events are counted as dropped rather
+/// than silently vanishing (the drop count is exported).
+const MAX_EVENTS_PER_SHARD: usize = 1 << 18;
+
+#[derive(Default)]
+struct Shard {
+    events: Vec<Event>,
+    counters: HashMap<&'static str, u64>,
+    dropped: u64,
+}
+
+static SHARDS: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn shards() -> &'static [Mutex<Shard>] {
+    SHARDS.get_or_init(|| (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect())
+}
+
+fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// This thread's home shard (round-robin assigned on first use, so pool
+/// lanes spread across shards instead of hashing onto one).
+fn my_shard() -> &'static Mutex<Shard> {
+    let idx = SHARD_IDX.with(|i| {
+        let v = i.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARD_COUNT;
+        i.set(v);
+        v
+    });
+    &shards()[idx]
+}
+
+pub(crate) fn record(event: Event) {
+    let mut shard = lock(my_shard());
+    if shard.events.len() < MAX_EVENTS_PER_SHARD {
+        shard.events.push(event);
+    } else {
+        shard.dropped += 1;
+    }
+}
+
+pub(crate) fn add_counter(name: &'static str, n: u64) {
+    let mut shard = lock(my_shard());
+    *shard.counters.entry(name).or_insert(0) += n;
+}
+
+/// Current total of a named counter across all shards (0 if never bumped).
+pub fn counter(name: &str) -> u64 {
+    shards().iter().map(|s| lock(s).counters.get(name).copied().unwrap_or(0)).sum()
+}
+
+/// A merged, ordered copy of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All events, sorted by (start, longest-first, track, name) so
+    /// parents precede their children and the order is deterministic for
+    /// a fixed event set.
+    pub events: Vec<Event>,
+    /// Counter totals, name-ordered.
+    pub counters: BTreeMap<String, u64>,
+    /// Events discarded because a shard hit its cap.
+    pub dropped_events: u64,
+}
+
+/// Merge every shard into one ordered [`Snapshot`] (does not reset).
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    for s in shards() {
+        let shard = lock(s);
+        snap.events.extend(shard.events.iter().cloned());
+        for (&k, &v) in &shard.counters {
+            *snap.counters.entry(k.to_string()).or_insert(0) += v;
+        }
+        snap.dropped_events += shard.dropped;
+    }
+    snap.events.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.track.cmp(&b.track))
+            .then(a.name.cmp(&b.name))
+    });
+    snap
+}
+
+/// Clear all recorded events and counters.
+pub fn reset() {
+    for s in shards() {
+        let mut shard = lock(s);
+        shard.events.clear();
+        shard.counters.clear();
+        shard.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, start: u64, dur: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "span",
+            track: 0,
+            start_ns: start,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_orders_parents_before_children() {
+        // same start: the longer (enclosing) event must come first
+        let mut events = [ev("child", 100, 10), ev("parent", 100, 50), ev("early", 5, 1)];
+        events.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.dur_ns.cmp(&a.dur_ns))
+                .then(a.track.cmp(&b.track))
+                .then(a.name.cmp(&b.name))
+        });
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["early", "parent", "child"]);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        // add_counter is the post-enabled-check internal path, so this
+        // needs no flag and cannot interfere with the flag-flipping tests
+        let before = counter("registry.test.cross-thread");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        add_counter("registry.test.cross-thread", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter("registry.test.cross-thread"), before + 400);
+    }
+}
