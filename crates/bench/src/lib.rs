@@ -24,6 +24,7 @@ pub mod fig9;
 pub mod push;
 pub mod table1;
 pub mod timing;
+pub mod tune;
 
 use serde::Serialize;
 use std::io::Write;

@@ -16,6 +16,8 @@
 //!
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
 //!   push              profiled push loop: spans reconciled vs wall time
+//!   tune              adaptive tuner vs exhaustive config sweep
+//!                     (TUNE_EPOCH_STEPS / TUNE_SWEEP_STEPS / TUNE_PLATFORM)
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
@@ -56,6 +58,7 @@ fn run_target(name: &str) -> bool {
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         "push" => bench::save_json("push", &bench::push::run()),
+        "tune" => bench::save_json("tune", &bench::tune::run()),
         other => {
             eprintln!("unknown target: {other}");
             return false;

@@ -17,7 +17,7 @@
 use crate::decompose::Decomposition;
 use crate::systems::System;
 use memsim::gpu::GpuModel;
-use memsim::push::{gpu_push, PushSpec, CELL_FOOTPRINT_BYTES, PARTICLE_BYTES};
+use memsim::push::{grid_fits_llc, gpu_push, PushSpec, PARTICLE_BYTES};
 use psort::patterns::random_cells;
 use serde::Serialize;
 
@@ -144,7 +144,8 @@ pub fn strong_scaling(
             field_time,
             comm_time,
             step_time,
-            grid_in_cache: (local_cells as u64 * CELL_FOOTPRINT_BYTES) <= platform.llc_bytes,
+            // same footprint predicate the live tuner's cache prior uses
+            grid_in_cache: grid_fits_llc(&platform, local_cells),
             pushes_per_ns: local_particles as f64 / (push_time * 1e9),
         });
     }

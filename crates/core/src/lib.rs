@@ -35,8 +35,10 @@ pub mod interp;
 pub mod push;
 pub mod sim;
 pub mod species;
+pub mod tune;
 
 pub use deck::Deck;
 pub use grid::Grid;
 pub use sim::Simulation;
 pub use species::Species;
+pub use tune::TuneDriver;

@@ -13,6 +13,7 @@ use crate::grid::Grid;
 use crate::interp::{load_interpolators, Interpolator};
 use crate::push::{push_species_on, PushStats};
 use crate::species::Species;
+use crate::tune::TuneDriver;
 use pk::atomic::ScatterMode;
 use pk::{ExecSpace, Serial};
 use psort::SortOrder;
@@ -50,7 +51,20 @@ pub struct Simulation {
     /// Optional laser antenna.
     pub laser: Option<LaserDriver>,
     step: u64,
+    /// Steps since the last scheduled sort fired. Starts saturated so
+    /// the first step with sorting enabled sorts (unless every species is
+    /// already in the requested order, in which case the per-species
+    /// skip makes it free).
+    steps_since_sort: usize,
     acc: Accumulator,
+    /// The adaptive tuning driver, when [`Simulation::set_tuner`] armed
+    /// one. Taken out of the struct during each step so it can borrow
+    /// the simulation mutably.
+    tuner: Option<Box<TuneDriver>>,
+    /// Wall time the last step spent sorting, ns (0 when no sort fired).
+    pub(crate) last_sort_ns: u64,
+    /// Whether the last step's scheduled sort fired at all.
+    pub(crate) last_sort_fired: bool,
 }
 
 impl Simulation {
@@ -68,7 +82,11 @@ impl Simulation {
             sort_interval: 20,
             laser: None,
             step: 0,
+            steps_since_sort: usize::MAX,
             acc,
+            tuner: None,
+            last_sort_ns: 0,
+            last_sort_fired: false,
         }
     }
 
@@ -100,11 +118,51 @@ impl Simulation {
     }
 
     /// Sort every species' particles by cell index under `order`
-    /// (the paper's §3.2 hook).
-    pub fn sort_particles(&mut self, order: SortOrder) {
-        for s in &mut self.species {
-            s.sort(order);
+    /// (the paper's §3.2 hook). Species already in `order` are skipped;
+    /// returns how many species actually moved.
+    pub fn sort_particles(&mut self, order: SortOrder) -> usize {
+        self.species.iter_mut().map(|s| s.sort(order) as usize).sum()
+    }
+
+    /// Make the next step's scheduled sort fire regardless of how recently
+    /// one ran. Called when the sort order changes mid-run (epoch
+    /// boundaries) so a new order takes effect immediately.
+    pub fn force_next_sort(&mut self) {
+        self.steps_since_sort = usize::MAX;
+    }
+
+    /// Apply one tuner arm: strategy, scatter mode (the accumulator is
+    /// rebuilt for `workers` replicas), sort order and cadence. A changed
+    /// sort order forces a sort on the next step. This is the *only*
+    /// mutation the adaptive tuner performs, and replaying the same calls
+    /// at the same steps (see [`crate::tune::TuneDriver::schedule`])
+    /// reproduces a tuned run bit-for-bit.
+    pub fn apply_tune_config(&mut self, cfg: &tuner::Config, workers: usize) {
+        self.strategy = cfg.strategy;
+        self.configure_scatter(workers.max(1), cfg.scatter);
+        if self.sort_order != cfg.order {
+            self.force_next_sort();
         }
+        self.sort_order = cfg.order;
+        self.sort_interval = cfg.interval;
+    }
+
+    /// Arm the adaptive tuner: from the next step on, `driver` measures
+    /// epochs and swaps configurations at epoch boundaries (never inside
+    /// a step, so physics is bit-identical per-epoch to a fixed-config
+    /// run).
+    pub fn set_tuner(&mut self, driver: TuneDriver) {
+        self.tuner = Some(Box::new(driver));
+    }
+
+    /// The armed tuning driver, if any.
+    pub fn tuner(&self) -> Option<&TuneDriver> {
+        self.tuner.as_deref()
+    }
+
+    /// Disarm and return the tuning driver (e.g. to read its schedule).
+    pub fn take_tuner(&mut self) -> Option<TuneDriver> {
+        self.tuner.take().map(|b| *b)
     }
 
     /// Advance one full step on the calling thread; returns aggregate
@@ -119,15 +177,42 @@ impl Simulation {
     /// via [`Simulation::configure_scatter`] with at least
     /// `space.concurrency()` workers.
     pub fn step_on<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+        // The tuner's epoch bookkeeping brackets the step *outside* the
+        // `sim.step` span: spans only record on drop, so finalizing an
+        // epoch here guarantees the previous step's span is already in
+        // the telemetry window being read.
+        let mut driver = self.tuner.take();
+        if let Some(d) = &mut driver {
+            d.before_step(self, space.concurrency());
+        }
+        let t0 = telemetry::now_ns();
+        let stats = self.step_inner(space);
+        let step_ns = telemetry::now_ns().saturating_sub(t0);
+        if let Some(d) = &mut driver {
+            d.after_step(&stats, step_ns, self.last_sort_ns, self.last_sort_fired);
+        }
+        self.tuner = driver;
+        stats
+    }
+
+    fn step_inner<S: ExecSpace>(&mut self, space: &S) -> PushStats {
         let _step_span =
             telemetry::span("sim.step").arg("step", self.step).arg("space", space.name());
         // periodic sort, as VPIC decks schedule it
+        self.last_sort_ns = 0;
+        self.last_sort_fired = false;
         if let Some(order) = self.sort_order {
-            if self.sort_interval > 0 && self.step.is_multiple_of(self.sort_interval as u64) {
+            if self.sort_interval > 0 && self.steps_since_sort >= self.sort_interval {
                 let _s = telemetry::span("sim.sort").arg("order", order);
-                self.sort_particles(order);
+                let t0 = telemetry::now_ns();
+                let moved = self.sort_particles(order);
+                self.last_sort_ns = telemetry::now_ns().saturating_sub(t0);
+                self.last_sort_fired = true;
+                self.steps_since_sort = 0;
+                telemetry::count("sim.species_sorted", moved as u64);
             }
         }
+        self.steps_since_sort = self.steps_since_sort.saturating_add(1);
         let interps = {
             let _s = telemetry::span("sim.interpolate");
             load_interpolators(&self.fields)
@@ -140,6 +225,11 @@ impl Simulation {
             for s in &mut self.species {
                 let st =
                     push_species_on(space, self.strategy, &self.grid, s, &interps, &self.acc);
+                if st.crossings > 0 {
+                    // crossings moved particles out of their sorted
+                    // positions; the next scheduled sort is real work
+                    s.mark_unsorted();
+                }
                 stats.pushed += st.pushed;
                 stats.crossings += st.crossings;
             }

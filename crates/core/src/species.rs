@@ -12,6 +12,16 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Reusable sorting workspace: sort keys, permutation, and the cycle-walk
+/// bitmap. Capacities persist across sorts so a steady-state simulation
+/// allocates nothing per sort after the first.
+#[derive(Debug, Clone, Default)]
+struct SortScratch {
+    keys: Vec<u32>,
+    perm: Vec<usize>,
+    done: Vec<bool>,
+}
+
 /// One particle species (electrons, ions, …).
 #[derive(Debug, Clone)]
 pub struct Species {
@@ -37,6 +47,12 @@ pub struct Species {
     pub uz: Vec<f32>,
     /// Statistical weight.
     pub w: Vec<f32>,
+    /// The order the arrays are currently known to be in, if any. `None`
+    /// after loading, after cell crossings, or after any other mutation
+    /// routed through this struct's methods; direct field writes do not
+    /// dirty it (callers doing that should [`Species::mark_unsorted`]).
+    last_sort: Option<SortOrder>,
+    scratch: SortScratch,
 }
 
 impl Species {
@@ -55,6 +71,8 @@ impl Species {
             uy: Vec::new(),
             uz: Vec::new(),
             w: Vec::new(),
+            last_sort: None,
+            scratch: SortScratch::default(),
         }
     }
 
@@ -92,6 +110,7 @@ impl Species {
         self.uy.push(uy);
         self.uz.push(uz);
         self.w.push(w);
+        self.last_sort = None;
     }
 
     /// Seed `n` particles uniformly over the grid with a Maxwellian-ish
@@ -165,11 +184,27 @@ impl Species {
 
     /// Reorder the particle arrays by cell index under `order` — the
     /// paper's sorting hook. All eight SoA arrays move in tandem.
-    pub fn sort(&mut self, order: SortOrder) {
-        let mut keys = self.cell.clone();
-        let mut idx: Vec<usize> = (0..self.len()).collect();
-        psort::sort_pairs(order, &mut keys, &mut idx);
-        self.cell = keys;
+    ///
+    /// Returns `false` (and does nothing) when the arrays are already in
+    /// `order` and nothing has dirtied them since — so a freshly sorted
+    /// population re-sorted on the next scheduled step costs nothing.
+    /// `Random` is never skipped: re-shuffling is a new permutation each
+    /// time, not an idempotent arrangement.
+    ///
+    /// Sorting reuses a persistent per-species scratch workspace (keys,
+    /// permutation, cycle bitmap): after the first sort at a given
+    /// population size, later sorts at this level allocate nothing.
+    pub fn sort(&mut self, order: SortOrder) -> bool {
+        if self.last_sort == Some(order) && order != SortOrder::Random {
+            return false;
+        }
+        let SortScratch { keys, perm, done } = &mut self.scratch;
+        keys.clear();
+        keys.extend_from_slice(&self.cell);
+        perm.clear();
+        perm.extend(0..self.cell.len());
+        psort::sort_pairs(order, keys, perm);
+        self.cell.copy_from_slice(keys);
         for arr in [
             &mut self.dx,
             &mut self.dy,
@@ -179,8 +214,29 @@ impl Species {
             &mut self.uz,
             &mut self.w,
         ] {
-            pk::sort::permute_in_place(&idx, arr);
+            pk::sort::permute_in_place_with(perm, arr, done);
         }
+        self.last_sort = Some(order);
+        true
+    }
+
+    /// The order the arrays are known to be in, if any.
+    pub fn current_order(&self) -> Option<SortOrder> {
+        self.last_sort
+    }
+
+    /// Forget the known ordering, forcing the next [`Species::sort`] to
+    /// run. The simulation loop calls this when cell crossings move
+    /// particles out of their sorted positions; callers that mutate the
+    /// SoA fields directly should call it too.
+    pub fn mark_unsorted(&mut self) {
+        self.last_sort = None;
+    }
+
+    /// Capacities of the persistent sort scratch `(keys, perm, done)` —
+    /// exposed so tests can assert no-alloc-after-warmup.
+    pub fn sort_scratch_capacities(&self) -> (usize, usize, usize) {
+        (self.scratch.keys.capacity(), self.scratch.perm.capacity(), self.scratch.done.capacity())
     }
 
     /// True when particle data is self-consistent (offsets in range,
@@ -288,6 +344,59 @@ mod tests {
             pairs.sort_unstable();
             pairs0.sort_unstable();
             assert_eq!(pairs, pairs0, "sort broke cell↔momentum pairing ({order})");
+        }
+    }
+
+    #[test]
+    fn sort_skips_when_already_in_requested_order() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 300, 0.1, (0.0, 0.0, 0.0), 1.0, 5);
+        assert_eq!(s.current_order(), None, "loading dirties the order");
+        assert!(s.sort(SortOrder::Standard));
+        assert_eq!(s.current_order(), Some(SortOrder::Standard));
+        let before = s.cell.clone();
+        assert!(!s.sort(SortOrder::Standard), "idempotent re-sort must be skipped");
+        assert_eq!(s.cell, before);
+        // a different order is real work again
+        assert!(s.sort(SortOrder::Strided));
+        // crossings (or any dirtying) re-enable the sort
+        s.sort(SortOrder::Standard);
+        s.mark_unsorted();
+        assert!(s.sort(SortOrder::Standard));
+        // Random is a fresh shuffle every time, never skipped
+        assert!(s.sort(SortOrder::Random));
+        assert!(s.sort(SortOrder::Random));
+        // appending a particle dirties the order too
+        s.sort(SortOrder::Standard);
+        s.push_particle(0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 1.0);
+        assert!(s.sort(SortOrder::Standard));
+    }
+
+    #[test]
+    fn sort_scratch_does_not_reallocate_after_warmup() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 1000, 0.1, (0.0, 0.0, 0.0), 1.0, 13);
+        // warmup: one sort sizes every scratch buffer to the population
+        s.sort(SortOrder::Standard);
+        let warm = s.sort_scratch_capacities();
+        assert!(warm.0 >= s.len() && warm.1 >= s.len() && warm.2 >= s.len());
+        // steady state: alternating orders with dirtying in between must
+        // leave every capacity untouched
+        for order in [
+            SortOrder::Strided,
+            SortOrder::Standard,
+            SortOrder::TiledStrided { tile: 8 },
+            SortOrder::Standard,
+        ] {
+            s.mark_unsorted();
+            assert!(s.sort(order));
+            assert_eq!(
+                s.sort_scratch_capacities(),
+                warm,
+                "sort scratch must not reallocate after warmup ({order})"
+            );
         }
     }
 

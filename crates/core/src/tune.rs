@@ -1,0 +1,213 @@
+//! The simulation side of the adaptive tuner: epoch bookkeeping around
+//! [`crate::Simulation::step_on`].
+//!
+//! The [`tuner::Tuner`] state machine is pure — it only sees
+//! [`tuner::Measurement`]s and returns [`tuner::Config`]s. This driver
+//! owns the loop that feeds it: it counts an epoch's steps, pushes,
+//! crossings and sort time; reads a [`telemetry`] window per epoch to
+//! detect dropped events (a truncated window would silently undercount an
+//! arm's cost, so the tuner re-measures instead); and applies the next
+//! configuration *between* steps, never inside one. Every applied config
+//! is recorded in [`TuneDriver::schedule`] with the step it took effect
+//! at — replaying that schedule through
+//! [`crate::Simulation::apply_tune_config`] on an identical deck
+//! reproduces the tuned run's physics bit-for-bit (property-tested in
+//! `tests/adaptive_tuning.rs`).
+
+use crate::push::PushStats;
+use crate::sim::Simulation;
+use tuner::{Config, Measurement, Tuner};
+
+/// One line of the tuned run's configuration history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Step count at which the config was applied (it governs this step
+    /// and onward, until the next entry).
+    pub step: u64,
+    /// The configuration applied.
+    pub config: Config,
+    /// Worker count the scatter accumulator was sized for.
+    pub workers: usize,
+}
+
+/// Per-epoch accumulators, reset at every epoch boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochAcc {
+    steps: u64,
+    pushed: u64,
+    crossings: u64,
+    step_ns: u64,
+    sort_ns: u64,
+    sorts: u64,
+}
+
+/// Drives a [`Tuner`] from inside the simulation loop. Arm it with
+/// [`crate::Simulation::set_tuner`].
+#[derive(Debug)]
+pub struct TuneDriver {
+    tuner: Tuner,
+    acc: EpochAcc,
+    mark: Option<telemetry::WindowMark>,
+    schedule: Vec<ScheduleEntry>,
+    epochs: u64,
+    started: bool,
+}
+
+impl TuneDriver {
+    /// Wrap a configured tuner.
+    pub fn new(tuner: Tuner) -> Self {
+        Self {
+            tuner,
+            acc: EpochAcc::default(),
+            mark: None,
+            schedule: Vec::new(),
+            epochs: 0,
+            started: false,
+        }
+    }
+
+    /// The underlying state machine (phase, committed arm, best cost…).
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// Completed measurement epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The config history: which arm governed the run from which step.
+    /// Replaying these through [`Simulation::apply_tune_config`] at the
+    /// recorded steps reproduces the tuned run exactly.
+    pub fn schedule(&self) -> &[ScheduleEntry] {
+        &self.schedule
+    }
+
+    /// Epoch bookkeeping before a step runs: on the first call, apply the
+    /// first candidate; on epoch boundaries, score the finished epoch and
+    /// apply whatever the tuner says to run next.
+    pub(crate) fn before_step(&mut self, sim: &mut Simulation, workers: usize) {
+        if !self.started {
+            self.started = true;
+            let cfg = *self.tuner.current();
+            self.apply(sim, cfg, workers);
+            self.mark = Some(telemetry::window_mark());
+            return;
+        }
+        if self.acc.steps < self.tuner.epoch_steps() as u64 {
+            return;
+        }
+        // the epoch is complete: check its telemetry window for dropped
+        // events before trusting the numbers
+        let truncated = match self.mark.take() {
+            Some(m) => telemetry::window_since(&m).dropped_events > 0,
+            None => false,
+        };
+        if truncated {
+            telemetry::count("tuner.truncated_epochs", 1);
+        }
+        let m = Measurement {
+            steps: self.acc.steps,
+            pushed: self.acc.pushed,
+            crossings: self.acc.crossings,
+            step_ns: self.acc.step_ns,
+            sort_ns: self.acc.sort_ns,
+            sorts: self.acc.sorts,
+            truncated,
+        };
+        let prev = *self.tuner.current();
+        let next = self.tuner.finish_epoch(&m);
+        self.epochs += 1;
+        if next != prev {
+            self.apply(sim, next, workers);
+        }
+        self.acc = EpochAcc::default();
+        self.mark = Some(telemetry::window_mark());
+    }
+
+    /// Fold one step's observations into the current epoch.
+    pub(crate) fn after_step(
+        &mut self,
+        stats: &PushStats,
+        step_ns: u64,
+        sort_ns: u64,
+        sort_fired: bool,
+    ) {
+        self.acc.steps += 1;
+        self.acc.pushed += stats.pushed as u64;
+        self.acc.crossings += stats.crossings as u64;
+        self.acc.step_ns += step_ns;
+        self.acc.sort_ns += sort_ns;
+        self.acc.sorts += u64::from(sort_fired);
+    }
+
+    fn apply(&mut self, sim: &mut Simulation, cfg: Config, workers: usize) {
+        sim.apply_tune_config(&cfg, workers);
+        self.schedule.push(ScheduleEntry { step: sim.step_count(), config: cfg, workers });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deck::Deck;
+    use pk::atomic::ScatterMode;
+    use psort::SortOrder;
+    use vsimd::Strategy;
+
+    fn small_arms() -> Vec<Config> {
+        vec![
+            Config::unsorted(Strategy::Auto, ScatterMode::Atomic),
+            Config {
+                order: Some(SortOrder::Standard),
+                interval: 5,
+                strategy: Strategy::Auto,
+                scatter: ScatterMode::Atomic,
+            },
+            Config {
+                order: Some(SortOrder::Strided),
+                interval: 5,
+                strategy: Strategy::Manual,
+                scatter: ScatterMode::Atomic,
+            },
+        ]
+    }
+
+    #[test]
+    fn driver_walks_epochs_and_records_the_schedule() {
+        let mut sim = Deck::weibel(6, 6, 6, 4, 0.3).build();
+        sim.set_tuner(TuneDriver::new(Tuner::new(small_arms(), 3)));
+        // 3 arms × 3-step epochs: 9 steps of exploration, then commit
+        sim.run(12);
+        let d = sim.take_tuner().expect("driver still armed");
+        assert!(d.epochs() >= 3, "3 exploration epochs must have closed: {}", d.epochs());
+        assert_eq!(d.tuner().phase(), tuner::Phase::Committed);
+        assert!(d.tuner().committed().is_some());
+        let sched = d.schedule();
+        assert!(!sched.is_empty());
+        assert_eq!(sched[0].step, 0, "first arm applies before the first step");
+        assert_eq!(sched[0].config, small_arms()[0]);
+        // entries are strictly ordered by step and aligned to epochs
+        assert!(sched.windows(2).all(|w| w[0].step < w[1].step));
+        for e in &sched[1..] {
+            assert_eq!(e.step % 3, 0, "configs only swap at epoch boundaries: {e:?}");
+        }
+        // the sim ends up running the committed arm
+        let committed = *d.tuner().committed().unwrap();
+        assert_eq!(sim.strategy, committed.strategy);
+        assert_eq!(sim.sort_order, committed.order);
+    }
+
+    #[test]
+    fn unarmed_simulation_is_unaffected() {
+        let mut a = Deck::weibel(6, 6, 6, 4, 0.3).build();
+        let mut b = Deck::weibel(6, 6, 6, 4, 0.3).build();
+        a.run(5);
+        b.run(5);
+        assert!(a.tuner().is_none());
+        for (sa, sb) in a.species.iter().zip(&b.species) {
+            assert_eq!(sa.cell, sb.cell);
+            assert_eq!(sa.ux, sb.ux);
+        }
+    }
+}

@@ -94,6 +94,22 @@ impl<'a> PushSpec<'a> {
     }
 }
 
+/// Cache footprint of a grid's per-cell push data (interpolator +
+/// accumulator) at the default VPIC record sizes.
+pub fn grid_footprint_bytes(cells: usize) -> u64 {
+    cells as u64 * CELL_FOOTPRINT_BYTES
+}
+
+/// The paper's superlinear-scaling heuristic as a predicate: does the
+/// per-rank grid's push working set fit in the platform's last-level
+/// cache? When it does, gather/scatter traffic stays cache-resident and
+/// sorting particles buys little — `cluster::scaling` uses this to model
+/// the strong-scaling cliff and the adaptive tuner uses the *same*
+/// function to seed its search from "sorting off".
+pub fn grid_fits_llc(platform: &crate::platform::Platform, cells: usize) -> bool {
+    grid_footprint_bytes(cells) <= platform.llc_bytes
+}
+
 /// Outcome of a modelled push, with the paper's Fig 9 metric attached.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct PushCost {
@@ -277,6 +293,20 @@ mod tests {
         let v100 = platform::by_name("V100").unwrap();
         let resident = v100.llc_bytes / CELL_FOOTPRINT_BYTES;
         assert!((12_000..20_000).contains(&resident), "{resident}");
+    }
+
+    #[test]
+    fn grid_fits_llc_matches_platform_data() {
+        // V100: 6 MB LLC / 432 B per cell → the Fig 9 peak grid
+        // (24³ = 13,824 cells) fits; the next refinement does not
+        let v100 = platform::by_name("V100").unwrap();
+        assert!(grid_fits_llc(&v100, 13_824));
+        assert!(!grid_fits_llc(&v100, 48 * 48 * 24));
+        // EPYC 7763 (256 MB L3) holds over half a million cells
+        let milan = platform::by_name("EPYC 7763").unwrap();
+        assert!(grid_fits_llc(&milan, 500_000));
+        assert!(!grid_fits_llc(&milan, 1_000_000));
+        assert_eq!(grid_footprint_bytes(1), CELL_FOOTPRINT_BYTES);
     }
 
     #[test]

@@ -41,7 +41,10 @@ mod export;
 mod registry;
 
 pub use export::{aggregate, chrome_trace, format_summary, summary_json, SpanStat};
-pub use registry::{counter, reset, snapshot, Event, Snapshot};
+pub use registry::{
+    counter, reset, snapshot, window_mark, window_since, Event, Snapshot, SpanWindow, WindowMark,
+    WindowTotals,
+};
 
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};

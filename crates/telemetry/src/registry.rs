@@ -120,6 +120,111 @@ pub fn snapshot() -> Snapshot {
     snap
 }
 
+// ---------------------------------------------------------------- windows
+
+/// A cheap position marker into the event/counter stream, taken with
+/// [`window_mark`] and later turned into per-span windowed totals by
+/// [`window_since`]. The adaptive tuner reads one of these per epoch —
+/// the cost of a mark is one lock per shard and a counter copy, with no
+/// event cloning.
+#[derive(Debug, Clone, Default)]
+pub struct WindowMark {
+    /// Per-shard event count at mark time.
+    event_pos: Vec<usize>,
+    /// Counter totals at mark time.
+    counters: BTreeMap<String, u64>,
+    /// Total dropped events at mark time.
+    dropped: u64,
+}
+
+/// Windowed totals for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanWindow {
+    /// Occurrences inside the window.
+    pub count: u64,
+    /// Sum of durations inside the window, ns.
+    pub total_ns: u64,
+}
+
+/// Aggregated telemetry activity since a [`WindowMark`]: per-span totals,
+/// counter deltas, and — critically for the tuner — how many events were
+/// *dropped* inside the window (a truncated window must not silently
+/// mis-cost a measurement; see ISSUE satellite on `dropped_events`).
+#[derive(Debug, Clone, Default)]
+pub struct WindowTotals {
+    /// Per-span-name count and total duration inside the window.
+    pub spans: BTreeMap<String, SpanWindow>,
+    /// Counter increments inside the window (zero-delta names omitted).
+    pub counters: BTreeMap<String, u64>,
+    /// Events discarded (shard cap reached) inside the window. A nonzero
+    /// value means `spans` undercounts and the window should be treated
+    /// as truncated.
+    pub dropped_events: u64,
+}
+
+impl WindowTotals {
+    /// Total duration of the named span inside the window, ns (0 if the
+    /// span never closed inside the window).
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |w| w.total_ns)
+    }
+
+    /// Occurrences of the named span inside the window.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |w| w.count)
+    }
+
+    /// Increment of the named counter inside the window.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Mark the current position of the telemetry stream. O(shards); clones
+/// counter totals but no events.
+pub fn window_mark() -> WindowMark {
+    let mut mark = WindowMark { event_pos: Vec::with_capacity(SHARD_COUNT), ..Default::default() };
+    for s in shards() {
+        let shard = lock(s);
+        mark.event_pos.push(shard.events.len());
+        for (&k, &v) in &shard.counters {
+            *mark.counters.entry(k.to_string()).or_insert(0) += v;
+        }
+        mark.dropped += shard.dropped;
+    }
+    mark
+}
+
+/// Aggregate everything recorded since `mark` into per-span totals and
+/// counter deltas — the epoch-readout path, which never clones events and
+/// so stays cheap no matter how much history the registry holds. A
+/// [`reset`] between mark and read is handled by saturating to "since the
+/// reset".
+pub fn window_since(mark: &WindowMark) -> WindowTotals {
+    let mut totals = WindowTotals::default();
+    let mut dropped_now = 0u64;
+    for (i, s) in shards().iter().enumerate() {
+        let shard = lock(s);
+        let from = mark.event_pos.get(i).copied().unwrap_or(0).min(shard.events.len());
+        for e in &shard.events[from..] {
+            let w = totals.spans.entry(e.name.clone()).or_default();
+            w.count += 1;
+            w.total_ns += e.dur_ns;
+        }
+        for (&k, &v) in &shard.counters {
+            *totals.counters.entry(k.to_string()).or_insert(0) += v;
+        }
+        dropped_now += shard.dropped;
+    }
+    // counter deltas relative to the mark; drop zero deltas
+    for (k, v) in totals.counters.iter_mut() {
+        *v = v.saturating_sub(mark.counters.get(k).copied().unwrap_or(0));
+    }
+    totals.counters.retain(|_, &mut v| v > 0);
+    totals.dropped_events = dropped_now.saturating_sub(mark.dropped);
+    totals
+}
+
 /// Clear all recorded events and counters.
 pub fn reset() {
     for s in shards() {
@@ -158,6 +263,37 @@ mod tests {
         });
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["early", "parent", "child"]);
+    }
+
+    #[test]
+    fn window_totals_track_only_new_events() {
+        let mark = window_mark();
+        record(ev("registry.test.window.span", 100, 10));
+        record(ev("registry.test.window.span", 120, 20));
+        record(ev("registry.test.window.span", 150, 30));
+        add_counter("registry.test.window.counter", 7);
+        let w = window_since(&mark);
+        assert_eq!(w.span_count("registry.test.window.span"), 3);
+        assert_eq!(w.span_total_ns("registry.test.window.span"), 60);
+        assert_eq!(w.counter("registry.test.window.counter"), 7);
+        // a fresh mark sees none of it
+        let w2 = window_since(&window_mark());
+        assert_eq!(w2.span_count("registry.test.window.span"), 0);
+        assert_eq!(w2.counter("registry.test.window.counter"), 0);
+    }
+
+    #[test]
+    fn window_survives_marks_past_current_positions() {
+        // simulates a reset() between mark and readout: positions beyond
+        // the live buffers clamp, counters/dropped saturate to zero
+        let mut counters = BTreeMap::new();
+        counters.insert("registry.test.window.stale".to_string(), u64::MAX);
+        let stale =
+            WindowMark { event_pos: vec![usize::MAX; SHARD_COUNT], counters, dropped: u64::MAX };
+        let w = window_since(&stale);
+        assert!(w.spans.is_empty());
+        assert_eq!(w.counter("registry.test.window.stale"), 0);
+        assert_eq!(w.dropped_events, 0);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The discrete configuration space the tuner searches.
+
+use pk::atomic::ScatterMode;
+use psort::SortOrder;
+use vsimd::Strategy;
+
+/// Sort cadences swept by default (steps between sorts). VPIC decks
+/// typically sort every ~20 steps; 5 and 50 bracket it.
+pub const DEFAULT_INTERVALS: [usize; 3] = [5, 20, 50];
+
+/// One arm of the search: a complete setting of the paper's tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Sorting order, or `None` to disable sorting (the cache-fit regime).
+    pub order: Option<SortOrder>,
+    /// Steps between sorts. Ignored when `order` is `None`.
+    pub interval: usize,
+    /// Push-kernel vectorization strategy.
+    pub strategy: Strategy,
+    /// Current-deposition scatter mode.
+    pub scatter: ScatterMode,
+}
+
+impl Config {
+    /// A conservative default arm: no sorting, portable strategy, atomic
+    /// scatter.
+    pub fn unsorted(strategy: Strategy, scatter: ScatterMode) -> Self {
+        Self { order: None, interval: 0, strategy, scatter }
+    }
+
+    /// Compact human-readable label, used as the key in `results/tune.json`
+    /// (e.g. `"standard/i20/guided/atomic"` or `"unsorted/manual/dup"`).
+    pub fn label(&self) -> String {
+        let strat = match self.strategy {
+            Strategy::Auto => "auto",
+            Strategy::Guided => "guided",
+            Strategy::Manual => "manual",
+            Strategy::AdHoc => "adhoc",
+        };
+        let scatter = match self.scatter {
+            ScatterMode::Atomic => "atomic",
+            ScatterMode::Duplicated => "dup",
+        };
+        match self.order {
+            None => format!("unsorted/{strat}/{scatter}"),
+            Some(o) => format!("{}/i{}/{strat}/{scatter}", o.name(), self.interval),
+        }
+    }
+}
+
+/// The full search space: {None, Standard, Strided, TiledStrided{tile}} ×
+/// `intervals` × all four strategies × both scatter modes. The unsorted
+/// arms carry no interval axis, so the space is
+/// `(1 + 3·|intervals|) · 4 · 2` arms (80 at the default three
+/// intervals). [`SortOrder::Random`] is deliberately excluded: re-shuffling
+/// is never a performance optimization and its permutation is not a pure
+/// function of the keys, which would break schedule-replay determinism.
+pub fn config_space(tile: usize, intervals: &[usize]) -> Vec<Config> {
+    let strategies = [Strategy::Auto, Strategy::Guided, Strategy::Manual, Strategy::AdHoc];
+    let scatters = [ScatterMode::Atomic, ScatterMode::Duplicated];
+    let mut arms = Vec::new();
+    for &strategy in &strategies {
+        for &scatter in &scatters {
+            arms.push(Config::unsorted(strategy, scatter));
+            for order in SortOrder::sorted_set(tile) {
+                for &interval in intervals {
+                    arms.push(Config { order: Some(order), interval, strategy, scatter });
+                }
+            }
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_expected_size_and_no_random() {
+        let arms = config_space(16, &DEFAULT_INTERVALS);
+        assert_eq!(arms.len(), (1 + 3 * 3) * 4 * 2);
+        assert!(arms.iter().all(|a| a.order != Some(SortOrder::Random)));
+        // every arm is distinct
+        for (i, a) in arms.iter().enumerate() {
+            assert!(!arms[i + 1..].contains(a), "duplicate arm {}", a.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let arms = config_space(8, &[5, 20]);
+        let mut labels: Vec<String> = arms.iter().map(Config::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), arms.len());
+        let c = Config {
+            order: Some(SortOrder::Standard),
+            interval: 20,
+            strategy: Strategy::Guided,
+            scatter: ScatterMode::Atomic,
+        };
+        assert_eq!(c.label(), "standard/i20/guided/atomic");
+        assert_eq!(
+            Config::unsorted(Strategy::Manual, ScatterMode::Duplicated).label(),
+            "unsorted/manual/dup"
+        );
+    }
+}

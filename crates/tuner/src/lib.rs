@@ -1,0 +1,40 @@
+//! Adaptive auto-tuning runtime: close the telemetry loop online.
+//!
+//! The paper's central claim is that the *best* configuration of the
+//! portable optimizations — sorting order (§3.2), sorting cadence, push
+//! vectorization strategy (§3.1), and scatter mode — depends on the
+//! hardware and on the evolving particle distribution: standard sort wins
+//! on cache-rich CPUs, strided orders on GPUs, and sorting should be
+//! disabled entirely once the per-rank grid fits in last-level cache
+//! (the superlinear-scaling regime of §6). This crate automates that
+//! choice with an **epoch-based explore/commit loop**:
+//!
+//! 1. **Explore** — run each candidate [`Config`] for one epoch of
+//!    simulation steps and score it with an amortized cost model
+//!    ([`Measurement::cost_per_particle`]) that charges the sort's cost
+//!    against the push savings it buys, spread over the sort interval.
+//! 2. **Commit** — adopt the cheapest arm and keep running it.
+//! 3. **Re-explore on drift** — while committed, watch the cell-crossing
+//!    rate (an EWMA); when it moves materially from the rate observed at
+//!    commit time (sorting decays as particles mix) or the committed
+//!    cost regresses, restart exploration.
+//!
+//! The search is seeded with a cache-model prior shared with
+//! `cluster::scaling`: when [`prior::prefer_unsorted`] says the grid's
+//! push working set fits the platform LLC, the "sorting off" arms are
+//! explored first (and win outright when the model is right).
+//!
+//! The crate is engine-only and deliberately knows nothing about the
+//! simulation loop: `vpic-core` owns the driver that feeds it
+//! measurements and applies the configs it returns, which keeps the state
+//! machine deterministic and unit-testable with synthetic costs (no
+//! wall-clock in tests).
+
+pub mod config;
+pub mod engine;
+pub mod measure;
+pub mod prior;
+
+pub use config::{config_space, Config, DEFAULT_INTERVALS};
+pub use engine::{Phase, Tuner};
+pub use measure::Measurement;

@@ -1,0 +1,52 @@
+//! The cache-model prior: one footprint predicate shared with
+//! `cluster::scaling`.
+//!
+//! The paper's §6 superlinear strong scaling comes from the per-rank grid
+//! shrinking until its push working set (interpolators + accumulators)
+//! fits in last-level cache, at which point gather/scatter traffic stops
+//! going to DRAM and sorting particles buys almost nothing. The
+//! strong-scaling model marks that regime with
+//! [`memsim::push::grid_fits_llc`]; the live tuner seeds its search from
+//! the *same* function so the model and the runtime can never disagree
+//! about where the cliff is.
+
+use memsim::platform::Platform;
+
+/// True when the modelled push working set of `cells` grid cells fits the
+/// platform's LLC — in which case the tuner explores the "sorting off"
+/// arms first (see [`crate::Tuner::with_cache_prior`]).
+pub fn prefer_unsorted(platform: &Platform, cells: usize) -> bool {
+    memsim::push::grid_fits_llc(platform, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::platform::by_name;
+
+    #[test]
+    fn prior_matches_memsim_platform_data() {
+        // V100 (6 MB LLC): the Fig 9 peak grid of 13,824 cells fits —
+        // prior says run unsorted; a 2× refinement spills
+        let v100 = by_name("V100").unwrap();
+        assert!(prefer_unsorted(&v100, 24 * 24 * 24));
+        assert!(!prefer_unsorted(&v100, 48 * 24 * 24 * 2));
+        // EPYC 7763 (256 MB L3) keeps even large grids resident
+        let milan = by_name("EPYC 7763").unwrap();
+        assert!(prefer_unsorted(&milan, 64 * 64 * 64));
+        // A100 (40 MB): between the two
+        let a100 = by_name("A100").unwrap();
+        assert!(prefer_unsorted(&a100, 44 * 44 * 44));
+        assert!(!prefer_unsorted(&a100, 64 * 64 * 64));
+    }
+
+    #[test]
+    fn prior_seeds_the_tuner_with_sorting_off() {
+        // the acceptance-criteria wiring: platform data → prior → first
+        // explored arm has sorting disabled
+        let v100 = by_name("V100").unwrap();
+        let arms = crate::config_space(16, &crate::DEFAULT_INTERVALS);
+        let t = crate::Tuner::new(arms, 10).with_cache_prior(prefer_unsorted(&v100, 13_824));
+        assert!(t.current().order.is_none());
+    }
+}

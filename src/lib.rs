@@ -9,5 +9,6 @@ pub use memsim;
 pub use pk;
 pub use psort;
 pub use rajaperf;
+pub use tuner;
 pub use vpic_core as core;
 pub use vsimd;

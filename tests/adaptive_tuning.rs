@@ -1,0 +1,140 @@
+//! The adaptive tuner's core contract: tuning is an *observation* layer.
+//! Arming it must never change the physics — a tuned run is bit-identical
+//! to replaying its recorded per-epoch config schedule with fixed
+//! settings — and its cache prior must agree with the `memsim` platform
+//! model it is derived from.
+
+use proptest::prelude::*;
+use vpic2::core::tune::ScheduleEntry;
+use vpic2::core::{Deck, Simulation, TuneDriver};
+use vpic2::memsim::platform::by_name;
+use vpic2::memsim::push::grid_fits_llc;
+use vpic2::pk::atomic::ScatterMode;
+use vpic2::psort::SortOrder;
+use vpic2::tuner::{prior, Config, Tuner};
+use vpic2::vsimd::Strategy as VecStrategy;
+
+fn weibel() -> Simulation {
+    Deck::weibel(4, 4, 4, 3, 0.3).build()
+}
+
+/// A small arm set that still exercises every knob the tuner can touch:
+/// sort order, interval, strategy, and scatter mode.
+fn arms() -> Vec<Config> {
+    vec![
+        Config::unsorted(VecStrategy::Auto, ScatterMode::Atomic),
+        Config {
+            order: Some(SortOrder::Standard),
+            interval: 5,
+            strategy: VecStrategy::Guided,
+            scatter: ScatterMode::Atomic,
+        },
+        Config {
+            order: Some(SortOrder::TiledStrided { tile: 8 }),
+            interval: 3,
+            strategy: VecStrategy::Manual,
+            scatter: ScatterMode::Duplicated,
+        },
+        Config {
+            order: Some(SortOrder::Strided),
+            interval: 5,
+            strategy: VecStrategy::AdHoc,
+            scatter: ScatterMode::Atomic,
+        },
+    ]
+}
+
+fn replay(schedule: &[ScheduleEntry], steps: usize) -> Simulation {
+    let mut sim = weibel();
+    for step in 0..steps as u64 {
+        for e in schedule.iter().filter(|e| e.step == step) {
+            sim.apply_tune_config(&e.config, e.workers);
+        }
+        sim.step();
+    }
+    sim
+}
+
+fn assert_bit_identical(a: &Simulation, b: &Simulation) {
+    for (sa, sb) in a.species.iter().zip(&b.species) {
+        assert_eq!(sa.cell, sb.cell, "cell arrays diverged");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&sa.dx), bits(&sb.dx));
+        assert_eq!(bits(&sa.dy), bits(&sb.dy));
+        assert_eq!(bits(&sa.dz), bits(&sb.dz));
+        assert_eq!(bits(&sa.ux), bits(&sb.ux));
+        assert_eq!(bits(&sa.uy), bits(&sb.uy));
+        assert_eq!(bits(&sa.uz), bits(&sb.uz));
+    }
+    let fbits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(fbits(&a.fields.ex), fbits(&b.fields.ex), "Ex diverged");
+    assert_eq!(fbits(&a.fields.ey), fbits(&b.fields.ey), "Ey diverged");
+    assert_eq!(fbits(&a.fields.ez), fbits(&b.fields.ez), "Ez diverged");
+}
+
+proptest! {
+    /// For any epoch length and run length, a tuned run and a fixed-config
+    /// replay of its recorded schedule produce bit-identical particle
+    /// trajectories and fields: config swaps at epoch boundaries are the
+    /// tuner's only effect on the simulation.
+    #[test]
+    fn tuned_run_replays_bit_identically(epoch in 2usize..5, extra in 0usize..7) {
+        let arm_set = arms();
+        // enough steps to explore every arm and run committed for a while
+        let steps = arm_set.len() * epoch + epoch + extra;
+        let mut tuned = weibel();
+        tuned.set_tuner(TuneDriver::new(Tuner::new(arm_set, epoch)));
+        for _ in 0..steps {
+            tuned.step();
+        }
+        let driver = tuned.take_tuner().expect("driver armed");
+        prop_assert!(!driver.schedule().is_empty());
+        let replayed = replay(driver.schedule(), steps);
+        assert_bit_identical(&tuned, &replayed);
+    }
+}
+
+#[test]
+fn committed_run_replays_bit_identically() {
+    // the non-property pin: long enough to commit, with drift epochs after
+    let epoch = 3;
+    let arm_set = arms();
+    let steps = arm_set.len() * epoch + 4 * epoch;
+    let mut tuned = weibel();
+    tuned.set_tuner(TuneDriver::new(Tuner::new(arm_set, epoch)));
+    for _ in 0..steps {
+        tuned.step();
+    }
+    let driver = tuned.take_tuner().unwrap();
+    assert!(driver.epochs() >= 7);
+    let replayed = replay(driver.schedule(), steps);
+    assert_bit_identical(&tuned, &replayed);
+}
+
+#[test]
+fn cache_prior_agrees_with_memsim_and_seeds_sorting_off() {
+    // the deck used by `repro -- tune`, measured against real Table-1
+    // platform data: when its grid footprint fits the LLC the prior must
+    // start the tuner on a "sorting off" arm, and the predicate must be
+    // the very one cluster::scaling uses for the superlinear regime
+    let sim = Deck::weibel(8, 8, 8, 6, 0.4).build();
+    let small = sim.grid.cells(); // 512 cells ≈ 216 KB: resident everywhere
+    let large = 32 * 32 * 32; // ≈ 13.5 MB: spills the V100's 6 MB, fits a 40 MB A100
+    for (name, cells, fits) in [
+        ("EPYC 7763", small, true),
+        ("V100", small, true),
+        ("V100", large, false),
+        ("A100", large, true),
+        ("H100", 200 * 200 * 200, false),
+    ] {
+        let p = by_name(name).unwrap();
+        assert_eq!(grid_fits_llc(&p, cells), fits, "{name}: {cells} cells");
+        assert_eq!(prior::prefer_unsorted(&p, cells), fits, "prior must equal the predicate");
+        let t = Tuner::new(arms(), 4).with_cache_prior(prior::prefer_unsorted(&p, cells));
+        assert_eq!(
+            t.current().order.is_none(),
+            fits,
+            "{name}: the prior must steer the first explored arm"
+        );
+    }
+}
