@@ -12,6 +12,7 @@
 //! which is which, per figure.
 
 pub mod ablate;
+pub mod ckpt;
 pub mod dispatch;
 pub mod fig1;
 pub mod fig10;

@@ -14,6 +14,7 @@
 //!   fig10  strong scaling (Sierra/Selene/Tuolumne)
 //!   all    everything above
 //!
+//!   ckpt              checkpoint/restore cost vs step cost, resume check
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
 //!   push              profiled push loop: spans reconciled vs wall time
 //!   tune              adaptive tuner vs exhaustive config sweep
@@ -56,6 +57,7 @@ fn run_target(name: &str) -> bool {
             bench::save_json("ablate-gpu-aware", &bench::ablate::run_gpu_aware())
         }
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
+        "ckpt" => bench::save_json("ckpt", &bench::ckpt::run()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         "push" => bench::save_json("push", &bench::push::run()),
         "tune" => bench::save_json("tune", &bench::tune::run()),

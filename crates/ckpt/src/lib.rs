@@ -1,0 +1,31 @@
+//! # ckpt — deterministic checkpoint/restart
+//!
+//! The durability layer of the stack (DESIGN §10): production plasma
+//! campaigns on preemptible heterogeneous nodes must survive a mid-run
+//! kill, so VPIC ships checkpoint/restart as a first-class feature and so
+//! does this reproduction. The crate is deliberately low-level and
+//! simulation-agnostic — it defines the container, not the contents:
+//!
+//! * [`format`] — the versioned `VPCK` snapshot container: named sections,
+//!   each CRC-32-checked, decoded strictly so *every* corruption maps to a
+//!   typed [`RestoreError`] (`Truncated` / `BadCrc` / `VersionMismatch` /
+//!   `SchemaDrift`), never a silently-wrong `Ok`.
+//! * [`file`] — atomic persistence: write temp → fsync → rotate the old
+//!   snapshot to `.prev` → rename. A kill at any instant leaves a loadable
+//!   snapshot; [`file::load_with_fallback`] encodes the recovery policy.
+//! * [`faults`] — the injection harness the contract is tested against:
+//!   truncate at any byte, flip any bit, die mid-write, kill a pooled
+//!   worker ([`pk::pool::WorkerPool`]) at a chosen step.
+//!
+//! What goes *into* the sections — fields, particles, tuner state,
+//! telemetry baselines — is owned by `vpic-core::checkpoint`, which keeps
+//! this crate's guarantees checkable in isolation (see the exhaustive
+//! bit-flip tests in [`format`]).
+
+pub mod crc32;
+pub mod faults;
+pub mod file;
+pub mod format;
+
+pub use file::{load, load_with_fallback, save_atomic, save_bytes_atomic};
+pub use format::{RestoreError, SectionBuf, SectionReader, Snapshot, Writer, MAGIC, VERSION};

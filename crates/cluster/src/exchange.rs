@@ -42,6 +42,10 @@ pub struct ClusterSim {
     /// The virtual decomposition.
     pub decomp: Decomposition,
     owner_of_cell: Vec<u32>,
+    /// Reusable per-species pre-push owner snapshot. Cleared and refilled
+    /// every step instead of rebuilt, so the steady-state exchange path
+    /// allocates nothing once the buffers have warmed to population size.
+    owners_before: Vec<Vec<u32>>,
 }
 
 impl ClusterSim {
@@ -55,7 +59,8 @@ impl ClusterSim {
                 decomp.owner(ix, iy, iz) as u32
             })
             .collect();
-        Self { sim, decomp, owner_of_cell }
+        let owners_before = vec![Vec::new(); sim.species.len()];
+        Self { sim, decomp, owner_of_cell, owners_before }
     }
 
     /// Owning rank of a cell voxel.
@@ -74,15 +79,21 @@ impl ClusterSim {
         counts
     }
 
+    /// Capacities of the per-species owner-snapshot scratch, in species
+    /// order — exposed so tests can assert no-alloc-after-warmup.
+    pub fn owner_scratch_capacities(&self) -> Vec<usize> {
+        self.owners_before.iter().map(Vec::capacity).collect()
+    }
+
     /// Advance one step, measuring migration.
     pub fn step(&mut self) -> (PushStats, MigrationStats) {
-        // snapshot owners before the push
-        let before: Vec<Vec<u32>> = self
-            .sim
-            .species
-            .iter()
-            .map(|s| s.cell.iter().map(|&c| self.owner_of_cell[c as usize]).collect())
-            .collect();
+        // snapshot owners before the push into the persistent scratch
+        // (a species added after construction still gets a row)
+        self.owners_before.resize_with(self.sim.species.len(), Vec::new);
+        for (buf, s) in self.owners_before.iter_mut().zip(&self.sim.species) {
+            buf.clear();
+            buf.extend(s.cell.iter().map(|&c| self.owner_of_cell[c as usize]));
+        }
         let push = self.sim.step();
         let _span = telemetry::span("cluster.exchange").arg("ranks", self.decomp.ranks());
         let mut stats = MigrationStats::default();
@@ -94,7 +105,7 @@ impl ClusterSim {
             stats.total += s.len();
             for (p, &c) in s.cell.iter().enumerate() {
                 let now = self.owner_of_cell[c as usize];
-                let was = before[si][p];
+                let was = self.owners_before[si][p];
                 if now != was {
                     stats.migrants += 1;
                     out_of[was as usize] += 1;
@@ -192,6 +203,43 @@ mod tests {
         assert!(dm >= m.migrants as u64, "migrants counter {dm} < {}", m.migrants);
         assert!(db >= m.migrants as u64 * 32, "bytes counter {db}");
         assert!(dmsg >= 1, "at least one rank pair exchanged");
+    }
+
+    #[test]
+    fn owner_scratch_stops_allocating_after_warmup() {
+        let mut cs = ClusterSim::new(sim(), 8);
+        let (_, warm) = cs.step();
+        let caps = cs.owner_scratch_capacities();
+        assert_eq!(caps.len(), cs.sim.species.len());
+        for (cap, s) in caps.iter().zip(&cs.sim.species) {
+            assert!(*cap >= s.len(), "scratch must hold the population: {cap} < {}", s.len());
+        }
+        // populations are constant (periodic domain, no injection): later
+        // steps must reuse the warmed buffers, not grow or replace them
+        let mut last = warm;
+        for _ in 0..4 {
+            let (_, m) = cs.step();
+            last = m;
+        }
+        assert_eq!(cs.owner_scratch_capacities(), caps, "steady state must not reallocate");
+        // and the stats stay well-formed through the reuse path
+        assert_eq!(last.total, cs.sim.particle_count());
+        assert!(last.migrants <= last.total);
+    }
+
+    #[test]
+    fn migration_stats_unchanged_by_scratch_reuse() {
+        // two identical runs: per-step stats must agree exactly, i.e. the
+        // reused scratch never leaks a stale owner row between steps
+        let mut a = ClusterSim::new(sim(), 8);
+        let mut b = ClusterSim::new(sim(), 8);
+        for step in 0..5 {
+            let (_, ma) = a.step();
+            let (_, mb) = b.step();
+            assert_eq!(ma.migrants, mb.migrants, "step {step}");
+            assert_eq!(ma.total, mb.total, "step {step}");
+            assert_eq!(ma.max_out_of_rank, mb.max_out_of_rank, "step {step}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   style deck used throughout §5.
 
 pub mod accumulate;
+pub mod checkpoint;
 pub mod compact;
 pub mod constants;
 pub mod deck;
@@ -37,6 +38,7 @@ pub mod sim;
 pub mod species;
 pub mod tune;
 
+pub use checkpoint::StepError;
 pub use deck::Deck;
 pub use grid::Grid;
 pub use sim::Simulation;

@@ -50,17 +50,23 @@ pub struct Simulation {
     pub sort_interval: usize,
     /// Optional laser antenna.
     pub laser: Option<LaserDriver>,
-    step: u64,
+    pub(crate) step: u64,
     /// Steps since the last scheduled sort fired. Starts saturated so
     /// the first step with sorting enabled sorts (unless every species is
     /// already in the requested order, in which case the per-species
     /// skip makes it free).
-    steps_since_sort: usize,
+    pub(crate) steps_since_sort: usize,
     acc: Accumulator,
+    /// Worker count the accumulator was last sized for. Tracked here
+    /// (the accumulator only materializes replicas in duplicated mode)
+    /// so a checkpoint can rebuild an identical accumulator on restore —
+    /// replica count changes deposition summation order, which is
+    /// bit-visible.
+    pub(crate) scatter_workers: usize,
     /// The adaptive tuning driver, when [`Simulation::set_tuner`] armed
     /// one. Taken out of the struct during each step so it can borrow
     /// the simulation mutably.
-    tuner: Option<Box<TuneDriver>>,
+    pub(crate) tuner: Option<Box<TuneDriver>>,
     /// Wall time the last step spent sorting, ns (0 when no sort fired).
     pub(crate) last_sort_ns: u64,
     /// Whether the last step's scheduled sort fired at all.
@@ -84,6 +90,7 @@ impl Simulation {
             step: 0,
             steps_since_sort: usize::MAX,
             acc,
+            scatter_workers: 1,
             tuner: None,
             last_sort_ns: 0,
             last_sort_fired: false,
@@ -324,6 +331,7 @@ impl Simulation {
     /// mode (used by the deposition ablation bench).
     pub fn configure_scatter(&mut self, workers: usize, mode: ScatterMode) {
         self.scatter_mode = mode;
+        self.scatter_workers = workers;
         self.acc = Accumulator::new(self.grid.cells(), workers, mode);
     }
 }

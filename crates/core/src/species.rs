@@ -196,6 +196,11 @@ impl Species {
     /// population size, later sorts at this level allocate nothing.
     pub fn sort(&mut self, order: SortOrder) -> bool {
         if self.last_sort == Some(order) && order != SortOrder::Random {
+            // the skip serves the cached "already sorted" claim — verify
+            // it in debug builds, since a caller that mutated the public
+            // SoA fields without mark_unsorted() would otherwise get a
+            // silently stale skip here
+            self.debug_validate_sorted();
             return false;
         }
         let SortScratch { keys, perm, done } = &mut self.scratch;
@@ -231,6 +236,39 @@ impl Species {
     /// SoA fields directly should call it too.
     pub fn mark_unsorted(&mut self) {
         self.last_sort = None;
+    }
+
+    /// Restore path only: adopt a checkpointed `last_sort` claim without
+    /// re-sorting. The checkpoint layer restores the particle arrays
+    /// bit-exactly alongside this, and validates the claim in debug
+    /// builds via [`Species::debug_validate_sorted`].
+    pub(crate) fn set_order_hint(&mut self, order: Option<SortOrder>) {
+        self.last_sort = order;
+    }
+
+    /// Debug-assertion guard for the `last_sort` skip cache: check that
+    /// the cell array really is in the claimed order. Valid because every
+    /// non-`Random` order is a pure function of the key multiset, so an
+    /// array genuinely in that order re-sorts to itself; any divergence
+    /// means particles were mutated without [`Species::mark_unsorted`]
+    /// and the skip cache would serve stale answers. O(n log n), debug
+    /// builds only; release builds compile to nothing.
+    pub fn debug_validate_sorted(&self) {
+        #[cfg(debug_assertions)]
+        if let Some(order) = self.last_sort {
+            if order == SortOrder::Random {
+                return;
+            }
+            let mut keys = self.cell.clone();
+            let mut tags: Vec<usize> = (0..keys.len()).collect();
+            psort::sort_pairs(order, &mut keys, &mut tags);
+            assert_eq!(
+                keys, self.cell,
+                "species {:?}: cell array is not in the claimed {order} order — \
+                 particles were mutated without mark_unsorted()",
+                self.name
+            );
+        }
     }
 
     /// Capacities of the persistent sort scratch `(keys, perm, done)` —
@@ -397,6 +435,40 @@ mod tests {
                 warm,
                 "sort scratch must not reallocate after warmup ({order})"
             );
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without mark_unsorted")]
+    fn unmarked_mutation_is_caught_by_the_skip_guard() {
+        // the bug class the guard exists for: mutate the public SoA
+        // fields after a sort, skip mark_unsorted(), and re-sort — the
+        // skip path must trip the debug assertion instead of silently
+        // serving the stale "already sorted" claim
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 100, 0.1, (0.0, 0.0, 0.0), 1.0, 21);
+        s.sort(SortOrder::Standard);
+        s.cell.swap(0, 99); // direct mutation, no mark_unsorted()
+        s.sort(SortOrder::Standard);
+    }
+
+    #[test]
+    fn marked_mutation_passes_the_skip_guard() {
+        let g = Grid::new(4, 4, 4);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.load_uniform(&g, 100, 0.1, (0.0, 0.0, 0.0), 1.0, 21);
+        for order in [SortOrder::Standard, SortOrder::Strided, SortOrder::TiledStrided { tile: 8 }]
+        {
+            s.sort(order);
+            s.debug_validate_sorted();
+            assert!(!s.sort(order), "clean skip after a real sort");
+            // the sanctioned path: mutate, mark, re-sort
+            s.cell.swap(0, 99);
+            s.mark_unsorted();
+            assert!(s.sort(order));
+            s.debug_validate_sorted();
         }
     }
 

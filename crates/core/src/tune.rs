@@ -16,7 +16,7 @@
 
 use crate::push::PushStats;
 use crate::sim::Simulation;
-use tuner::{Config, Measurement, Tuner};
+use tuner::{Config, Measurement, Tuner, TunerState};
 
 /// One line of the tuned run's configuration history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,37 @@ struct EpochAcc {
     step_ns: u64,
     sort_ns: u64,
     sorts: u64,
+}
+
+/// The serializable state of a [`TuneDriver`]: the engine state plus the
+/// driver's epoch accumulators and recorded schedule. What it does *not*
+/// carry is the open [`telemetry::WindowMark`] — marks are positions in
+/// this process's telemetry stream and mean nothing in another process,
+/// so a restored driver starts its next epoch with a fresh mark (the
+/// first post-restore epoch simply cannot detect dropped events from
+/// before the restore, which is sound: those events are gone anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverState {
+    /// The pure engine's state.
+    pub tuner: TunerState,
+    /// Steps folded into the current (incomplete) epoch.
+    pub acc_steps: u64,
+    /// Particles pushed in the current epoch.
+    pub acc_pushed: u64,
+    /// Cell crossings in the current epoch.
+    pub acc_crossings: u64,
+    /// Wall time of the current epoch's steps, ns.
+    pub acc_step_ns: u64,
+    /// Wall time the current epoch spent sorting, ns.
+    pub acc_sort_ns: u64,
+    /// Sorts that fired in the current epoch.
+    pub acc_sorts: u64,
+    /// The recorded `(step, config, workers)` history.
+    pub schedule: Vec<ScheduleEntry>,
+    /// Completed measurement epochs.
+    pub epochs: u64,
+    /// Whether the first arm has been applied yet.
+    pub started: bool,
 }
 
 /// Drives a [`Tuner`] from inside the simulation loop. Arm it with
@@ -81,6 +112,46 @@ impl TuneDriver {
     /// recorded steps reproduces the tuned run exactly.
     pub fn schedule(&self) -> &[ScheduleEntry] {
         &self.schedule
+    }
+
+    /// Export the driver's complete serializable state (the open
+    /// telemetry window mark excluded — see [`DriverState`]).
+    pub fn state(&self) -> DriverState {
+        DriverState {
+            tuner: self.tuner.state(),
+            acc_steps: self.acc.steps,
+            acc_pushed: self.acc.pushed,
+            acc_crossings: self.acc.crossings,
+            acc_step_ns: self.acc.step_ns,
+            acc_sort_ns: self.acc.sort_ns,
+            acc_sorts: self.acc.sorts,
+            schedule: self.schedule.clone(),
+            epochs: self.epochs,
+            started: self.started,
+        }
+    }
+
+    /// Rebuild a driver from checkpointed state, resuming the recorded
+    /// schedule and the in-flight epoch exactly where they stopped. The
+    /// engine state is validated (see [`Tuner::from_state`]); the first
+    /// epoch boundary after the restore reads a window opened post-restore.
+    pub fn from_state(s: DriverState) -> Result<Self, String> {
+        let tuner = Tuner::from_state(s.tuner)?;
+        Ok(Self {
+            tuner,
+            acc: EpochAcc {
+                steps: s.acc_steps,
+                pushed: s.acc_pushed,
+                crossings: s.acc_crossings,
+                step_ns: s.acc_step_ns,
+                sort_ns: s.acc_sort_ns,
+                sorts: s.acc_sorts,
+            },
+            mark: None,
+            schedule: s.schedule,
+            epochs: s.epochs,
+            started: s.started,
+        })
     }
 
     /// Epoch bookkeeping before a step runs: on the first call, apply the
@@ -196,6 +267,25 @@ mod tests {
         let committed = *d.tuner().committed().unwrap();
         assert_eq!(sim.strategy, committed.strategy);
         assert_eq!(sim.sort_order, committed.order);
+    }
+
+    #[test]
+    fn driver_state_round_trip_resumes_the_schedule() {
+        let mut sim = Deck::weibel(6, 6, 6, 4, 0.3).build();
+        sim.set_tuner(TuneDriver::new(Tuner::new(small_arms(), 3)));
+        sim.run(5); // mid-epoch: one arm scored, the next one in flight
+        let d = sim.take_tuner().unwrap();
+        let resumed = TuneDriver::from_state(d.state()).expect("valid state");
+        assert_eq!(resumed.state(), d.state());
+        assert_eq!(resumed.schedule(), d.schedule());
+        assert_eq!(resumed.epochs(), d.epochs());
+        // the restored driver keeps driving: re-arm and finish the run
+        sim.set_tuner(resumed);
+        sim.run(7);
+        let d = sim.take_tuner().unwrap();
+        assert_eq!(d.tuner().phase(), tuner::Phase::Committed);
+        // the schedule stays one continuous, strictly ordered history
+        assert!(d.schedule().windows(2).all(|w| w[0].step < w[1].step));
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //! * [`WorkerPool::run`] publishes one job — a `Fn(lane)` — under a mutex,
 //!   bumps an epoch counter, and wakes all workers; each worker runs the
 //!   job for its own lane exactly once per epoch;
-//! * worker panics are caught, counted, and re-raised on the **calling**
+//! * lane panics are caught, counted, and surfaced on the **calling**
 //!   thread after every lane has finished (so borrowed data is never
-//!   touched after the dispatch returns);
+//!   touched after the dispatch returns) — as a typed [`DispatchPanic`]
+//!   unwind from [`WorkerPool::run`], or as a plain `Err(DispatchPanic)`
+//!   from [`WorkerPool::try_run`] for callers with a restore point armed
+//!   (the checkpoint/restart path treats a dead lane as a recoverable
+//!   fault, not a process abort);
 //! * `Drop` sets a shutdown flag, wakes the workers, and joins them.
 //!
 //! Pools are cached per worker count in a process-wide registry
@@ -31,6 +35,27 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, Weak};
 use std::thread::JoinHandle;
+
+/// Typed panic payload / error for a dispatch in which one or more lanes
+/// panicked. [`WorkerPool::run`] re-raises it with `resume_unwind` (the
+/// original per-lane panic messages were already printed by the panic
+/// hook when each lane failed), so a `catch_unwind` around a pooled
+/// kernel can downcast to this type and distinguish "a lane died
+/// mid-dispatch, state is suspect — restore from the last snapshot" from
+/// unrelated panics. [`WorkerPool::try_run`] returns it as a plain error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPanic {
+    /// How many lanes' tasks panicked during the dispatch.
+    pub panicked_lanes: usize,
+}
+
+impl std::fmt::Display for DispatchPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} pool lane(s) panicked during dispatch", self.panicked_lanes)
+    }
+}
+
+impl std::error::Error for DispatchPanic {}
 
 /// The job currently being dispatched: a lifetime-erased pointer to the
 /// caller's `Fn(lane)`. Valid only while the owning [`WorkerPool::run`]
@@ -157,8 +182,9 @@ impl WorkerPool {
 
     /// Run `task(lane)` once on every lane, returning when all lanes have
     /// finished. The caller executes lane 0 itself. If any lane panics,
-    /// the panic is raised here — after every other lane has completed, so
-    /// data borrowed by `task` is never used past this call.
+    /// a typed [`DispatchPanic`] unwind is raised here — after every other
+    /// lane has completed, so data borrowed by `task` is never used past
+    /// this call.
     ///
     /// Concurrent dispatch from independent threads is allowed (pools are
     /// shared process-wide, see [`global`]): the second caller blocks
@@ -171,28 +197,48 @@ impl WorkerPool {
     /// lane's busy time on that lane's own trace track — lane imbalance is
     /// read directly off the per-lane `<kernel>::lane` rows.
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
-        if !telemetry::enabled() {
-            return self.run_inner(task);
+        if let Err(dp) = self.try_run(task) {
+            // resume_unwind, not panic_any: every lane's own panic message
+            // already went through the panic hook, so re-raising must not
+            // print a second (payload-less) report
+            resume_unwind(Box::new(dp));
         }
-        telemetry::count("pk.pool.dispatches", 1);
-        // label lane busy-time with the kernel being dispatched (the
-        // innermost open span on the calling thread, e.g. "pk.parallel_for"
-        // under a "sim.push" phase)
-        let kernel = telemetry::current_label().unwrap_or_else(|| "pk.dispatch".to_string());
-        let lane_label = format!("{kernel}::lane");
-        let _span =
-            telemetry::span("pk.pool.dispatch").arg("lanes", self.lanes).arg("kernel", kernel);
-        let lane_label = &lane_label;
-        self.run_inner(&move |lane| {
-            let _busy = telemetry::lane_span(lane_label.clone(), lane);
-            task(lane);
-        });
     }
 
-    fn run_inner(&self, task: &(dyn Fn(usize) + Sync)) {
+    /// Like [`WorkerPool::run`], but lane panics come back as
+    /// `Err(DispatchPanic)` instead of unwinding — the recoverable surface
+    /// the checkpoint/restart path uses when a restore point is armed.
+    /// All lanes have finished (successfully or not) by the time this
+    /// returns, and the pool remains usable either way.
+    pub fn try_run(&self, task: &(dyn Fn(usize) + Sync)) -> Result<(), DispatchPanic> {
+        let panicked_lanes = if !telemetry::enabled() {
+            self.run_inner(task)
+        } else {
+            telemetry::count("pk.pool.dispatches", 1);
+            // label lane busy-time with the kernel being dispatched (the
+            // innermost open span on the calling thread, e.g.
+            // "pk.parallel_for" under a "sim.push" phase)
+            let kernel = telemetry::current_label().unwrap_or_else(|| "pk.dispatch".to_string());
+            let lane_label = format!("{kernel}::lane");
+            let _span =
+                telemetry::span("pk.pool.dispatch").arg("lanes", self.lanes).arg("kernel", kernel);
+            let lane_label = &lane_label;
+            self.run_inner(&move |lane| {
+                let _busy = telemetry::lane_span(lane_label.clone(), lane);
+                task(lane);
+            })
+        };
+        if panicked_lanes > 0 {
+            telemetry::count("pk.pool.worker_panics", panicked_lanes as u64);
+            return Err(DispatchPanic { panicked_lanes });
+        }
+        Ok(())
+    }
+
+    /// Dispatch `task` over every lane and count how many panicked.
+    fn run_inner(&self, task: &(dyn Fn(usize) + Sync)) -> usize {
         if self.handles.is_empty() {
-            task(0);
-            return;
+            return usize::from(catch_unwind(AssertUnwindSafe(|| task(0))).is_err());
         }
         assert!(
             ACTIVE_POOL.with(|c| c.get()) != Arc::as_ptr(&self.shared),
@@ -232,13 +278,7 @@ impl WorkerPool {
             st.job = None;
             st.worker_panics
         };
-        if let Err(cause) = mine {
-            resume_unwind(cause);
-        }
-        if worker_panics > 0 {
-            telemetry::count("pk.pool.worker_panics", worker_panics as u64);
-            panic!("{worker_panics} pool worker(s) panicked during dispatch");
-        }
+        worker_panics + usize::from(mine.is_err())
     }
 }
 
@@ -388,6 +428,45 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn lane_panic_unwinds_with_a_typed_payload() {
+        // the payload `run` re-raises must downcast to DispatchPanic, so a
+        // catch_unwind further up (Simulation::try_step_on) can tell "a
+        // pool lane died" apart from arbitrary panics
+        let pool = WorkerPool::new(3);
+        let cause = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane > 0 {
+                    panic!("both workers fail");
+                }
+            });
+        }))
+        .expect_err("lane panics must unwind");
+        let dp = cause.downcast::<DispatchPanic>().expect("typed DispatchPanic payload");
+        assert_eq!(dp.panicked_lanes, 2);
+    }
+
+    #[test]
+    fn try_run_reports_lane_panics_as_errors() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.try_run(&|_| {}), Ok(()));
+        let err = pool
+            .try_run(&|lane| {
+                if lane == 2 {
+                    panic!("lane 2 failure");
+                }
+            })
+            .expect_err("panicking lane must surface");
+        assert_eq!(err, DispatchPanic { panicked_lanes: 1 });
+        assert!(err.to_string().contains("1 pool lane(s)"));
+        // the pool stays usable, including on the inline single-lane path
+        assert_eq!(pool.try_run(&|_| {}), Ok(()));
+        let inline = WorkerPool::new(1);
+        let err = inline.try_run(&|_| panic!("inline failure")).unwrap_err();
+        assert_eq!(err.panicked_lanes, 1);
+        assert_eq!(inline.try_run(&|_| {}), Ok(()));
     }
 
     #[test]

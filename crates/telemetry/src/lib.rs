@@ -42,8 +42,8 @@ mod registry;
 
 pub use export::{aggregate, chrome_trace, format_summary, summary_json, SpanStat};
 pub use registry::{
-    counter, reset, snapshot, window_mark, window_since, Event, Snapshot, SpanWindow, WindowMark,
-    WindowTotals,
+    counter, counters, reset, restore_counter_baselines, snapshot, window_mark, window_since, Event,
+    Snapshot, SpanWindow, WindowMark, WindowTotals,
 };
 
 use std::borrow::Cow;

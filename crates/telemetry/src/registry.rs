@@ -81,9 +81,65 @@ pub(crate) fn add_counter(name: &'static str, n: u64) {
     *shard.counters.entry(name).or_insert(0) += n;
 }
 
-/// Current total of a named counter across all shards (0 if never bumped).
-pub fn counter(name: &str) -> u64 {
+/// Baselines carried over from a restored checkpoint: lifetime counter
+/// totals recorded by a previous process, added on top of this process's
+/// live shard counters so restored runs keep reporting monotonic lifetime
+/// totals (`pool.created`, `sim.particles_pushed`, …) without
+/// double-counting. Windows ([`window_mark`]/[`window_since`]) read the
+/// live shards only, so a restore never makes a window go backwards.
+static BASELINES: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+
+fn baselines() -> &'static Mutex<BTreeMap<String, u64>> {
+    BASELINES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Live in-process total of a named counter, baselines excluded.
+fn live_counter(name: &str) -> u64 {
     shards().iter().map(|s| lock(s).counters.get(name).copied().unwrap_or(0)).sum()
+}
+
+/// Current total of a named counter (0 if never bumped): this process's
+/// shard totals plus any baseline restored from a checkpoint.
+pub fn counter(name: &str) -> u64 {
+    let base = baselines()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(name)
+        .copied()
+        .unwrap_or(0);
+    base + live_counter(name)
+}
+
+/// Adopt lifetime-counter totals saved in a checkpoint. For each saved
+/// counter the baseline grows by however much the saved total exceeds the
+/// [`counter`] total visible right now — so restoring into a fresh
+/// process carries the full history forward, while restoring a snapshot
+/// this same process wrote earlier adds nothing (the live counters
+/// already cover it). Totals only ever grow; re-applying the same saved
+/// map is idempotent.
+pub fn restore_counter_baselines(saved: &BTreeMap<String, u64>) {
+    for (name, &saved_total) in saved {
+        let current = counter(name);
+        if saved_total > current {
+            let mut base = baselines().lock().unwrap_or_else(|e| e.into_inner());
+            *base.entry(name.clone()).or_insert(0) += saved_total - current;
+        }
+    }
+}
+
+/// All counter totals (baselines included, matching [`counter`]),
+/// name-ordered. Unlike [`snapshot`] this clones no events, so it is
+/// cheap enough for the checkpoint write path.
+pub fn counters() -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> =
+        baselines().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    for s in shards() {
+        let shard = lock(s);
+        for (&k, &v) in &shard.counters {
+            *out.entry(k.to_string()).or_insert(0) += v;
+        }
+    }
+    out
 }
 
 /// A merged, ordered copy of everything recorded so far.
@@ -100,8 +156,12 @@ pub struct Snapshot {
 }
 
 /// Merge every shard into one ordered [`Snapshot`] (does not reset).
+/// Counter totals include restored baselines, matching [`counter`].
 pub fn snapshot() -> Snapshot {
     let mut snap = Snapshot::default();
+    for (k, &v) in baselines().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        snap.counters.insert(k.clone(), v);
+    }
     for s in shards() {
         let shard = lock(s);
         snap.events.extend(shard.events.iter().cloned());
@@ -225,7 +285,7 @@ pub fn window_since(mark: &WindowMark) -> WindowTotals {
     totals
 }
 
-/// Clear all recorded events and counters.
+/// Clear all recorded events, counters, and restored baselines.
 pub fn reset() {
     for s in shards() {
         let mut shard = lock(s);
@@ -233,6 +293,7 @@ pub fn reset() {
         shard.counters.clear();
         shard.dropped = 0;
     }
+    baselines().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
@@ -294,6 +355,47 @@ mod tests {
         assert!(w.spans.is_empty());
         assert_eq!(w.counter("registry.test.window.stale"), 0);
         assert_eq!(w.dropped_events, 0);
+    }
+
+    #[test]
+    fn restored_baselines_carry_lifetime_totals_without_double_count() {
+        // fresh-process restore: nothing live yet, the saved total carries
+        // over wholesale
+        let name = "registry.test.baseline.fresh";
+        assert_eq!(counter(name), 0);
+        let mut saved = BTreeMap::new();
+        saved.insert(name.to_string(), 1000u64);
+        restore_counter_baselines(&saved);
+        assert_eq!(counter(name), 1000);
+        // re-applying the same checkpoint adds nothing (idempotent)
+        restore_counter_baselines(&saved);
+        assert_eq!(counter(name), 1000);
+        // live increments stack on top of the baseline
+        add_counter("registry.test.baseline.fresh", 5);
+        assert_eq!(counter(name), 1005);
+        // same-process restore: the saved total is already covered by
+        // live + baseline, so nothing is double-counted
+        let mut resaved = BTreeMap::new();
+        resaved.insert(name.to_string(), counter(name));
+        restore_counter_baselines(&resaved);
+        assert_eq!(counter(name), 1005);
+        // snapshot() reports the same baseline-inclusive totals
+        assert_eq!(snapshot().counters.get(name).copied(), Some(1005));
+    }
+
+    #[test]
+    fn windows_stay_monotonic_across_a_baseline_restore() {
+        // a window opened before the restore must see only live activity,
+        // never a negative/huge jump from the adopted baseline
+        let name = "registry.test.baseline.window";
+        let mark = window_mark();
+        let mut saved = BTreeMap::new();
+        saved.insert(name.to_string(), 999_999u64);
+        restore_counter_baselines(&saved);
+        let w = window_since(&mark);
+        assert_eq!(w.counter(name), 0, "baselines must not leak into windows");
+        add_counter("registry.test.baseline.window", 3);
+        assert_eq!(window_since(&mark).counter(name), 3);
     }
 
     #[test]

@@ -60,6 +60,45 @@ pub struct Tuner {
     explorations: u64,
 }
 
+/// The complete serializable state of a [`Tuner`]: every field
+/// [`Tuner::finish_epoch`] reads or writes, with public fields so a
+/// checkpoint layer can encode it without this crate knowing the format.
+/// Round trip: [`Tuner::state`] → persist → [`Tuner::from_state`]. The
+/// engine is pure (no wall clock), so a restored tuner fed the same
+/// measurements makes the same decisions as the original — the property
+/// `tests/checkpoint_restart.rs` leans on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerState {
+    /// Candidate arms, in exploration order.
+    pub arms: Vec<Config>,
+    /// Steps per measurement epoch.
+    pub epoch_steps: usize,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Arm being measured (Exploring/Refining) or run (Committed).
+    pub cursor: usize,
+    /// Per-arm cost measured this exploration round.
+    pub costs: Vec<Option<f64>>,
+    /// Per-arm crossing rate measured this exploration round.
+    pub rates: Vec<f64>,
+    /// Cost of the committed arm at commit time.
+    pub committed_cost: f64,
+    /// Crossing rate at commit time (drift baseline).
+    pub baseline_rate: f64,
+    /// Committed-phase crossing-rate EWMA.
+    pub rate_ewma: f64,
+    /// Top-N refinement budget.
+    pub refine_top: usize,
+    /// Arm indices still queued for refinement.
+    pub refine_queue: Vec<usize>,
+    /// Consecutive truncated-epoch retries used on the current arm.
+    pub retries: u32,
+    /// Lifetime count of truncated epochs.
+    pub truncated_epochs: u64,
+    /// Exploration rounds started.
+    pub explorations: u64,
+}
+
 impl Tuner {
     /// A tuner over `arms`, measuring each for `epoch_steps` simulation
     /// steps. Exploration visits arms in order, so the caller controls
@@ -154,6 +193,70 @@ impl Tuner {
     /// Exploration rounds started (1 initially; +1 per drift restart).
     pub fn explorations(&self) -> u64 {
         self.explorations
+    }
+
+    /// Export the complete engine state for checkpointing.
+    pub fn state(&self) -> TunerState {
+        TunerState {
+            arms: self.arms.clone(),
+            epoch_steps: self.epoch_steps,
+            phase: self.phase,
+            cursor: self.cursor,
+            costs: self.costs.clone(),
+            rates: self.rates.clone(),
+            committed_cost: self.committed_cost,
+            baseline_rate: self.baseline_rate,
+            rate_ewma: self.rate_ewma,
+            refine_top: self.refine_top,
+            refine_queue: self.refine_queue.clone(),
+            retries: self.retries,
+            truncated_epochs: self.truncated_epochs,
+            explorations: self.explorations,
+        }
+    }
+
+    /// Rebuild a tuner from checkpointed state. Internal-consistency
+    /// violations (empty arm set, cursor or refine queue out of range,
+    /// mismatched per-arm vector lengths) are rejected so a drifted
+    /// snapshot cannot resurrect an engine that would index out of
+    /// bounds on its next epoch.
+    pub fn from_state(s: TunerState) -> Result<Self, String> {
+        if s.arms.is_empty() {
+            return Err("tuner state has no arms".into());
+        }
+        if s.epoch_steps == 0 {
+            return Err("tuner state has zero epoch_steps".into());
+        }
+        let n = s.arms.len();
+        if s.cursor >= n {
+            return Err(format!("tuner cursor {} out of range for {n} arms", s.cursor));
+        }
+        if s.costs.len() != n || s.rates.len() != n {
+            return Err(format!(
+                "per-arm vectors sized {}/{} for {n} arms",
+                s.costs.len(),
+                s.rates.len()
+            ));
+        }
+        if let Some(&bad) = s.refine_queue.iter().find(|&&i| i >= n) {
+            return Err(format!("refine queue entry {bad} out of range for {n} arms"));
+        }
+        Ok(Self {
+            arms: s.arms,
+            epoch_steps: s.epoch_steps,
+            phase: s.phase,
+            cursor: s.cursor,
+            costs: s.costs,
+            rates: s.rates,
+            committed_cost: s.committed_cost,
+            baseline_rate: s.baseline_rate,
+            rate_ewma: s.rate_ewma,
+            refine_top: s.refine_top,
+            refine_queue: s.refine_queue,
+            retries: s.retries,
+            truncated_epochs: s.truncated_epochs,
+            explorations: s.explorations,
+        })
     }
 
     /// Ingest the epoch that just ran under [`Tuner::current`] and return
@@ -402,6 +505,40 @@ mod tests {
             t2.finish_epoch(&bad);
         }
         assert!(t2.best().is_some(), "bounded retries: the search must advance");
+    }
+
+    #[test]
+    fn state_round_trip_preserves_decisions() {
+        // freeze a tuner mid-refinement, round-trip its state, and feed
+        // both copies the same epochs: every decision must match
+        let mut a = three_arm_tuner().with_refinement(2);
+        a.finish_epoch(&epoch(700, 0, 100));
+        a.finish_epoch(&epoch(500, 500, 100));
+        a.finish_epoch(&epoch(775, 500, 100));
+        assert_eq!(a.phase(), Phase::Refining);
+        let mut b = Tuner::from_state(a.state()).expect("valid state");
+        assert_eq!(a.state(), b.state());
+        for m in [epoch(900, 500, 100), epoch(550, 0, 100), epoch(560, 0, 100)] {
+            assert_eq!(a.finish_epoch(&m), b.finish_epoch(&m));
+            assert_eq!(a.phase(), b.phase());
+            assert_eq!(a.state(), b.state());
+        }
+        assert_eq!(a.phase(), Phase::Committed);
+    }
+
+    #[test]
+    fn inconsistent_state_is_rejected() {
+        let good = three_arm_tuner().state();
+        let empty = TunerState { arms: Vec::new(), ..good.clone() };
+        assert!(Tuner::from_state(empty).is_err());
+        let bad_cursor = TunerState { cursor: 3, ..good.clone() };
+        assert!(Tuner::from_state(bad_cursor).is_err());
+        let bad_lens = TunerState { costs: vec![None; 1], ..good.clone() };
+        assert!(Tuner::from_state(bad_lens).is_err());
+        let bad_queue = TunerState { refine_queue: vec![9], ..good.clone() };
+        assert!(Tuner::from_state(bad_queue).is_err());
+        let no_epochs = TunerState { epoch_steps: 0, ..good };
+        assert!(Tuner::from_state(no_epochs).is_err());
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod measure;
 pub mod prior;
 
 pub use config::{config_space, Config, DEFAULT_INTERVALS};
-pub use engine::{Phase, Tuner};
+pub use engine::{Phase, Tuner, TunerState};
 pub use measure::Measurement;

@@ -1,0 +1,246 @@
+//! Checkpoint/restart's two contracts, end to end:
+//!
+//! 1. **Bit-identical resume** — for any deck configuration, checkpoint
+//!    at step k, restore, run to step n: the result is indistinguishable
+//!    from the uninterrupted run, including with the adaptive tuner
+//!    armed (the resumed run continues the recorded schedule exactly).
+//! 2. **No silent divergence** — every injected fault (truncation at any
+//!    byte, any single-bit flip, a crash mid-write, a worker-pool panic
+//!    mid-step) yields a *typed* error or a clean fallback to the
+//!    previous good snapshot; a restore never silently produces a
+//!    different simulation.
+
+use proptest::prelude::*;
+use vpic2::ckpt;
+use vpic2::ckpt::RestoreError;
+use vpic2::core::tune::ScheduleEntry;
+use vpic2::core::{Deck, Simulation, TuneDriver};
+use vpic2::pk::atomic::ScatterMode;
+use vpic2::psort::SortOrder;
+use vpic2::tuner::{Config, Tuner};
+use vpic2::vsimd::Strategy as VecStrategy;
+
+fn assert_bit_identical(a: &Simulation, b: &Simulation) {
+    assert_eq!(a.step_count(), b.step_count(), "step counts diverged");
+    let fbits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(fbits(&a.fields.ex), fbits(&b.fields.ex), "Ex diverged");
+    assert_eq!(fbits(&a.fields.ey), fbits(&b.fields.ey), "Ey diverged");
+    assert_eq!(fbits(&a.fields.ez), fbits(&b.fields.ez), "Ez diverged");
+    assert_eq!(fbits(&a.fields.bx), fbits(&b.fields.bx), "Bx diverged");
+    assert_eq!(fbits(&a.fields.by), fbits(&b.fields.by), "By diverged");
+    assert_eq!(fbits(&a.fields.bz), fbits(&b.fields.bz), "Bz diverged");
+    assert_eq!(a.species.len(), b.species.len());
+    for (sa, sb) in a.species.iter().zip(&b.species) {
+        assert_eq!(sa.cell, sb.cell, "cell arrays diverged");
+        assert_eq!(fbits(&sa.dx), fbits(&sb.dx));
+        assert_eq!(fbits(&sa.dy), fbits(&sb.dy));
+        assert_eq!(fbits(&sa.dz), fbits(&sb.dz));
+        assert_eq!(fbits(&sa.ux), fbits(&sb.ux));
+        assert_eq!(fbits(&sa.uy), fbits(&sb.uy));
+        assert_eq!(fbits(&sa.uz), fbits(&sb.uz));
+        assert_eq!(fbits(&sa.w), fbits(&sb.w));
+    }
+}
+
+/// Build one of the random deck configurations the resume property
+/// sweeps: deck family, sorting order and cadence, scatter replicas —
+/// every knob that changes bit patterns.
+fn build(weibel: bool, ppc: usize, order_tag: usize, interval: usize, workers: usize) -> Simulation {
+    let mut sim = if weibel {
+        Deck::weibel(5, 5, 5, ppc, 0.3).build()
+    } else {
+        Deck::lpi(8, 4, 4, ppc).build()
+    };
+    sim.sort_order = match order_tag {
+        0 => None,
+        1 => Some(SortOrder::Standard),
+        2 => Some(SortOrder::Strided),
+        _ => Some(SortOrder::TiledStrided { tile: 4 }),
+    };
+    sim.sort_interval = interval;
+    if workers > 1 {
+        sim.configure_scatter(workers, ScatterMode::Duplicated);
+    }
+    sim
+}
+
+proptest! {
+    /// Checkpoint at k, restore, run to n — bit-identical to running
+    /// straight through, for arbitrary deck configurations.
+    #[test]
+    fn restore_resumes_bit_identically(
+        weibel in any::<bool>(),
+        ppc in 2usize..5,
+        order_tag in 0usize..4,
+        interval in 1usize..6,
+        workers in 1usize..4,
+        k in 1usize..8,
+        extra in 1usize..8,
+    ) {
+        let n = k + extra;
+        let mut full = build(weibel, ppc, order_tag, interval, workers);
+        full.run(n);
+        let mut half = build(weibel, ppc, order_tag, interval, workers);
+        half.run(k);
+        let bytes = half.checkpoint_bytes();
+        let mut resumed = Simulation::restore_bytes(&bytes).expect("restore");
+        resumed.run(extra);
+        assert_bit_identical(&full, &resumed);
+    }
+
+    /// Every prefix truncation of a snapshot fails with a typed error —
+    /// never an `Ok` carrying partial state.
+    #[test]
+    fn every_truncation_is_typed(keep_permille in 0u32..1000) {
+        let mut sim = Deck::weibel(4, 4, 4, 3, 0.3).build();
+        sim.run(2);
+        let bytes = sim.checkpoint_bytes();
+        let keep = (bytes.len() * keep_permille as usize) / 1000;
+        match Simulation::restore_bytes(&ckpt::faults::truncated(&bytes, keep)) {
+            Err(
+                RestoreError::Truncated
+                | RestoreError::BadCrc { .. }
+                | RestoreError::SchemaDrift(_)
+                | RestoreError::VersionMismatch { .. },
+            ) => {}
+            Err(e) => panic!("untyped error for truncation at {keep}: {e:?}"),
+            Ok(_) => panic!("truncation at {keep}/{} restored silently", bytes.len()),
+        }
+    }
+
+    /// Any single flipped bit fails typed: the CRC (or strict decode)
+    /// catches it; restore never silently diverges.
+    #[test]
+    fn every_bit_flip_is_typed(pos_permille in 0u32..1000, bit in 0u8..8) {
+        let mut sim = Deck::weibel(4, 4, 4, 3, 0.3).build();
+        sim.run(2);
+        let bytes = sim.checkpoint_bytes();
+        let byte = (bytes.len() * pos_permille as usize) / 1000;
+        let byte = byte.min(bytes.len() - 1);
+        match Simulation::restore_bytes(&ckpt::faults::with_bit_flipped(&bytes, byte, bit)) {
+            Err(_) => {}
+            Ok(restored) => {
+                // flips that survive must land in dead bytes only —
+                // the restored state has to be exactly the original
+                assert_bit_identical(&sim, &restored);
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_write_falls_back_to_the_previous_snapshot() {
+    let dir = std::env::temp_dir().join(format!("vpic-crash-write-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.vpck");
+
+    let mut sim = Deck::weibel(4, 4, 4, 3, 0.3).build();
+    sim.run(3);
+    sim.checkpoint_to(&path).unwrap();
+    sim.run(2);
+    // the process dies mid-write of the *next* snapshot: only a torn
+    // temp file is left, the good snapshot is untouched
+    let next = sim.checkpoint_bytes();
+    ckpt::faults::crash_mid_write(&path, &next, next.len() / 2).unwrap();
+    let (restored, fell_back) = Simulation::restore_from_path(&path).unwrap();
+    assert!(!fell_back, "primary snapshot is still the good one");
+    assert_eq!(restored.step_count(), 3);
+
+    // now the primary itself is corrupt: fallback to the rotated copy
+    sim.checkpoint_to(&path).unwrap(); // rotates step-3 snapshot to .prev
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, ckpt::faults::with_bit_flipped(&bytes, bytes.len() / 2, 3)).unwrap();
+    let (restored, fell_back) = Simulation::restore_from_path(&path).unwrap();
+    assert!(fell_back, "corrupt primary must fall back");
+    assert_eq!(restored.step_count(), 3);
+
+    // both gone: the primary's typed error surfaces
+    std::fs::remove_file(ckpt::file::prev_path(&path)).unwrap();
+    match Simulation::restore_from_path(&path) {
+        Err(RestoreError::BadCrc { .. } | RestoreError::SchemaDrift(_)) => {}
+        other => panic!("expected the primary's typed error, got {:?}", other.err()),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_mid_step_is_recoverable_and_resumable() {
+    // a lane panic during a pooled dispatch surfaces as a typed
+    // DispatchPanic...
+    let pool = vpic2::pk::WorkerPool::new(3);
+    let dp = ckpt::faults::kill_dispatch(&pool, 1);
+    assert_eq!(dp.panicked_lanes, 1);
+    // ...and the pool survives to run the recovery path: restore the
+    // last checkpoint and finish the run on the same pool
+    let mut sim = Deck::weibel(4, 4, 4, 3, 0.3).build();
+    sim.run(3);
+    let snapshot = sim.checkpoint_bytes();
+    let mut full = Deck::weibel(4, 4, 4, 3, 0.3).build();
+    full.run(8);
+    let mut recovered = Simulation::restore_bytes(&snapshot).expect("restore after panic");
+    for _ in 0..5 {
+        recovered.try_step().expect("serial steps cannot lane-panic");
+    }
+    assert_bit_identical(&full, &recovered);
+    // the pool still dispatches fine after the earlier panic
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    pool.run(&|_| {
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(counter.into_inner(), 3);
+}
+
+#[test]
+fn tuner_armed_resume_continues_the_schedule_exactly() {
+    let arms = vec![
+        Config::unsorted(VecStrategy::Auto, ScatterMode::Atomic),
+        Config {
+            order: Some(SortOrder::Standard),
+            interval: 4,
+            strategy: VecStrategy::Guided,
+            scatter: ScatterMode::Atomic,
+        },
+        Config {
+            order: Some(SortOrder::Strided),
+            interval: 3,
+            strategy: VecStrategy::Manual,
+            scatter: ScatterMode::Atomic,
+        },
+    ];
+    let epoch = 3;
+    let (k, n) = (7usize, 16usize); // interrupt mid-epoch, mid-exploration
+
+    // tuned run, interrupted at k and resumed from the checkpoint
+    let mut tuned = Deck::weibel(4, 4, 4, 3, 0.3).build();
+    tuned.set_tuner(TuneDriver::new(Tuner::new(arms.clone(), epoch)));
+    tuned.run(k);
+    let bytes = tuned.checkpoint_bytes();
+    let mut resumed = Simulation::restore_bytes(&bytes).expect("tuner-armed restore");
+    assert_eq!(
+        resumed.tuner().expect("driver restored").state(),
+        tuned.tuner().expect("driver armed").state(),
+        "restored driver must carry the engine state, epoch accumulators and schedule"
+    );
+    resumed.run(n - k);
+
+    // arm choices depend on wall-clock measurements, so the oracle is
+    // the run's own recorded schedule: replaying it on a fresh deck
+    // must reproduce the resumed run bit-for-bit, with the pre- and
+    // post-restore entries forming one continuous history
+    let driver = resumed.take_tuner().expect("driver still armed");
+    let schedule: Vec<ScheduleEntry> = driver.schedule().to_vec();
+    assert!(schedule.windows(2).all(|w| w[0].step < w[1].step), "schedule not continuous");
+    assert!(
+        schedule.iter().any(|e| e.step >= k as u64),
+        "the resumed run must have kept tuning past the restore point"
+    );
+    let mut replayed = Deck::weibel(4, 4, 4, 3, 0.3).build();
+    for step in 0..n as u64 {
+        for e in schedule.iter().filter(|e| e.step == step) {
+            replayed.apply_tune_config(&e.config, e.workers);
+        }
+        replayed.step();
+    }
+    assert_bit_identical(&resumed, &replayed);
+}
+
