@@ -14,6 +14,7 @@
 pub mod ablate;
 pub mod ckpt;
 pub mod dispatch;
+pub mod field;
 pub mod fig1;
 pub mod fig10;
 pub mod fig3;

@@ -17,6 +17,8 @@
 //!   ckpt              checkpoint/restore cost vs step cost, resume check
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
 //!   push              profiled push loop: spans reconciled vs wall time
+//!   field             grid-side pipeline (interpolate/solve/unload):
+//!                     parallel+vectorized vs pre-rewrite serial baseline
 //!   tune              adaptive tuner vs exhaustive config sweep
 //!                     (TUNE_EPOCH_STEPS / TUNE_SWEEP_STEPS / TUNE_PLATFORM)
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
@@ -60,6 +62,7 @@ fn run_target(name: &str) -> bool {
         "ckpt" => bench::save_json("ckpt", &bench::ckpt::run()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         "push" => bench::save_json("push", &bench::push::run()),
+        "field" => bench::save_json("field", &bench::field::run()),
         "tune" => bench::save_json("tune", &bench::tune::run()),
         other => {
             eprintln!("unknown target: {other}");

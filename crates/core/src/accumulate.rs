@@ -13,8 +13,10 @@
 //! `1/dt` factor (unit cells) and adds each slot to its Yee edge.
 
 use crate::field::FieldArray;
-use crate::grid::Grid;
+use crate::grid::{Grid, StencilSide};
 use pk::atomic::{ScatterBuf, ScatterMode};
+use pk::{ExecSpace, SendPtr, Serial};
+use vsimd::Strategy;
 
 /// Accumulator slots per cell: 4 edges × 3 components.
 pub const SLOTS: usize = 12;
@@ -24,13 +26,16 @@ pub const SLOTS: usize = 12;
 pub struct Accumulator {
     buf: ScatterBuf,
     cells: usize,
+    /// Reused `collect` target: sized on the first unload, alloc-free
+    /// afterwards.
+    scratch: Vec<f64>,
 }
 
 impl Accumulator {
     /// A zeroed accumulator for `cells` cells and up to `workers`
     /// concurrent writers in the given scatter mode.
     pub fn new(cells: usize, workers: usize, mode: ScatterMode) -> Self {
-        Self { buf: ScatterBuf::new(cells * SLOTS, workers, mode), cells }
+        Self { buf: ScatterBuf::new(cells * SLOTS, workers, mode), cells, scratch: Vec::new() }
     }
 
     /// Number of cells covered.
@@ -77,14 +82,19 @@ impl Accumulator {
         self.buf.get(cell * SLOTS + slot)
     }
 
-    /// Convert accumulated charge-displacements to current density and
-    /// add into the field's J arrays (VPIC's `unload_accumulator_array`).
-    ///
-    /// Cell `v`'s slot `(a, b)` of the x-component belongs to the Yee
-    /// x-edge of voxel `v + a·ŷ + b·ẑ` (periodic), and similarly for the
-    /// cyclic y and z components.
-    pub fn unload(&self, f: &mut FieldArray) {
-        let g = f.grid.clone();
+    /// Scratch capacity (no-alloc-after-warmup assertions).
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
+    }
+
+    /// The historical scatter-order unload, kept as the value oracle: for
+    /// every cell it pushes each slot outward to its edge. Its f32 adds
+    /// happen in cell order, so its rounding differs (by ulps) from the
+    /// gather-order [`Accumulator::unload_on`] — compare with a tolerance,
+    /// not bitwise. Allocates a fresh collect vector per call (the cost
+    /// the `repro -- field` bench baselines against).
+    pub fn unload_scatter_ref(&self, f: &mut FieldArray) {
+        let FieldArray { grid: g, jx, jy, jz, .. } = f;
         assert_eq!(g.cells(), self.cells, "accumulator/grid mismatch");
         let rdt = 1.0 / g.dt;
         let vals = self.buf.collect();
@@ -94,11 +104,119 @@ impl Accumulator {
                 let jx_edge = g.neighbor(v, (0, *a, *b));
                 let jy_edge = g.neighbor(v, (*b, 0, *a));
                 let jz_edge = g.neighbor(v, (*a, *b, 0));
-                f.jx[jx_edge] += (vals[base + s] * rdt as f64) as f32;
-                f.jy[jy_edge] += (vals[base + 4 + s] * rdt as f64) as f32;
-                f.jz[jz_edge] += (vals[base + 8 + s] * rdt as f64) as f32;
+                jx[jx_edge] += (vals[base + s] * rdt as f64) as f32;
+                jy[jy_edge] += (vals[base + 4 + s] * rdt as f64) as f32;
+                jz[jz_edge] += (vals[base + 8 + s] * rdt as f64) as f32;
             }
         }
+    }
+
+    /// Convert accumulated charge-displacements to current density and
+    /// add into the field's J arrays (VPIC's `unload_accumulator_array`).
+    ///
+    /// Cell `v`'s slot `(a, b)` of the x-component belongs to the Yee
+    /// x-edge of voxel `v + a·ŷ + b·ẑ` (periodic), and similarly for the
+    /// cyclic y and z components.
+    pub fn unload(&mut self, f: &mut FieldArray) {
+        self.unload_on(&Serial, Strategy::Auto, f);
+    }
+
+    /// [`Accumulator::unload`] with the row sweep distributed over `space`.
+    ///
+    /// Determinism needs edge *ownership*: the scatter order (each cell
+    /// pushing to neighboring edges) would race and round in worker-
+    /// dependent order, so this kernel inverts it into a gather — edge `e`
+    /// pulls its four x-contributions from cells `e − a·ŷ − b·ẑ` (slot
+    /// `s`), cyclically for y and z, sums them in fixed slot order in
+    /// `f64`, and applies one rounding. Every edge has exactly one writer,
+    /// so the result is bit-identical for any space, strategy, or worker
+    /// count. The `collect` scratch is reused across calls.
+    ///
+    /// Strategy mapping: the gather is `f64` (no `f64` lane type in
+    /// `vsimd`), so *manual* falls back to the fused *auto* loop and
+    /// *ad hoc* to the split *guided* passes; the split/fused choice is
+    /// the only strategy-visible axis here.
+    pub fn unload_on<S: ExecSpace>(&mut self, space: &S, strategy: Strategy, f: &mut FieldArray) {
+        let FieldArray { grid: g, jx, jy, jz, .. } = f;
+        assert_eq!(g.cells(), self.cells, "accumulator/grid mismatch");
+        // widen the same f32 constant the scatter reference uses
+        let rdt = (1.0f32 / g.dt) as f64;
+        self.buf.collect_into(&mut self.scratch);
+        let vals = self.scratch.as_slice();
+        let nx = g.nx;
+        let (sy, sz) = (g.nx, g.nx * g.ny);
+        let pjx = SendPtr::new(jx.as_mut_ptr());
+        let pjy = SendPtr::new(jy.as_mut_ptr());
+        let pjz = SendPtr::new(jz.as_mut_ptr());
+        let g = &*g;
+        let split = matches!(strategy, Strategy::Guided | Strategy::AdHoc);
+        space.parallel_for(g.rows(), move |r| {
+            let row = g.row_range(r);
+            let v0 = row.start;
+            // SAFETY: rows are disjoint; this invocation exclusively owns
+            // row `r`'s span of each J array.
+            let (jxr, jyr, jzr) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pjx.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pjy.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pjz.get().add(v0), nx),
+                )
+            };
+            let inner = g.interior_xs(r, StencilSide::Minus);
+            let gather_x = |v: usize| {
+                ((vals[v * SLOTS]
+                    + vals[(v - sy) * SLOTS + 1]
+                    + vals[(v - sz) * SLOTS + 2]
+                    + vals[(v - sy - sz) * SLOTS + 3])
+                    * rdt) as f32
+            };
+            let gather_y = |v: usize| {
+                ((vals[v * SLOTS + 4]
+                    + vals[(v - sz) * SLOTS + 5]
+                    + vals[(v - 1) * SLOTS + 6]
+                    + vals[(v - 1 - sz) * SLOTS + 7])
+                    * rdt) as f32
+            };
+            let gather_z = |v: usize| {
+                ((vals[v * SLOTS + 8]
+                    + vals[(v - 1) * SLOTS + 9]
+                    + vals[(v - sy) * SLOTS + 10]
+                    + vals[(v - 1 - sy) * SLOTS + 11])
+                    * rdt) as f32
+            };
+            if split {
+                // kernel splitting: one component per pass
+                for ix in inner.clone() {
+                    jxr[ix] += gather_x(v0 + ix);
+                }
+                for ix in inner.clone() {
+                    jyr[ix] += gather_y(v0 + ix);
+                }
+                for ix in inner.clone() {
+                    jzr[ix] += gather_z(v0 + ix);
+                }
+            } else {
+                for ix in inner.clone() {
+                    let v = v0 + ix;
+                    jxr[ix] += gather_x(v);
+                    jyr[ix] += gather_y(v);
+                    jzr[ix] += gather_z(v);
+                }
+            }
+            // boundary shell: general periodic sources, same sum tree
+            for ix in (0..inner.start).chain(inner.end..nx) {
+                let v = v0 + ix;
+                let (mut gx, mut gy, mut gz) = (0.0f64, 0.0f64, 0.0f64);
+                for (s, (a, b)) in CORNERS.iter().enumerate() {
+                    gx += vals[g.neighbor(v, (0, -*a, -*b)) * SLOTS + s];
+                    gy += vals[g.neighbor(v, (-*b, 0, -*a)) * SLOTS + 4 + s];
+                    gz += vals[g.neighbor(v, (-*a, -*b, 0)) * SLOTS + 8 + s];
+                }
+                jxr[ix] += (gx * rdt) as f32;
+                jyr[ix] += (gy * rdt) as f32;
+                jzr[ix] += (gz * rdt) as f32;
+            }
+        });
     }
 }
 
@@ -241,7 +359,7 @@ mod tests {
         let mut rho1 = vec![0.0f64; g.cells()];
         deposit_rho_node(&g, &mut rho0, cell, x0, y0, z0, qw);
         deposit_rho_node(&g, &mut rho1, cell, x1, y1, z1, qw);
-        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        let mut acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
         acc.deposit_segment(0, cell, x0, y0, z0, x1, y1, z1, qw);
         let mut f = FieldArray::new(g.clone());
         acc.unload(&mut f);
@@ -259,7 +377,7 @@ mod tests {
     fn unload_routes_slots_to_correct_edges() {
         let g = Grid::new(3, 3, 3);
         let cell = g.voxel(1, 1, 1);
-        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        let mut acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
         // x-motion at the (y+, z+) corner → only slot 3 → edge (i+½, j+1, k+1)
         acc.deposit_segment(0, cell, -0.5, 1.0, 1.0, 0.5, 1.0, 1.0, 1.0);
         let mut f = FieldArray::new(g.clone());
@@ -273,13 +391,90 @@ mod tests {
     #[test]
     fn opposite_motions_cancel() {
         let g = Grid::new(3, 3, 3);
-        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        let mut acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
         let cell = 5;
         acc.deposit_segment(0, cell, -0.5, 0.2, 0.2, 0.5, 0.2, 0.2, 1.0);
         acc.deposit_segment(0, cell, 0.5, 0.2, 0.2, -0.5, 0.2, 0.2, 1.0);
         let mut f = FieldArray::new(g);
         acc.unload(&mut f);
         assert!(f.jx.iter().all(|&x| x.abs() < 1e-7));
+    }
+
+    /// A deck-independent deposit pattern touching every cell.
+    fn seeded_accumulator(g: &Grid, workers: usize, mode: ScatterMode) -> Accumulator {
+        let acc = Accumulator::new(g.cells(), workers, mode);
+        for cell in 0..g.cells() {
+            let t = cell as f32 * 0.37;
+            acc.deposit_segment(
+                cell % workers.max(1),
+                cell,
+                -0.4 + 0.1 * t.sin(),
+                0.3 * t.cos(),
+                -0.2,
+                0.5,
+                -0.3 * t.sin(),
+                0.4 * t.cos(),
+                1.0 + 0.5 * t.sin(),
+            );
+        }
+        acc
+    }
+
+    #[test]
+    fn gather_unload_matches_scatter_reference_within_rounding() {
+        for (nx, ny, nz) in [(5, 4, 3), (2, 2, 2), (1, 4, 4), (6, 1, 2), (1, 1, 1)] {
+            let g = Grid::new(nx, ny, nz);
+            let mut acc = seeded_accumulator(&g, 1, ScatterMode::Atomic);
+            let mut scatter = FieldArray::new(g.clone());
+            acc.unload_scatter_ref(&mut scatter);
+            let mut gather = FieldArray::new(g.clone());
+            acc.unload(&mut gather);
+            for v in 0..g.cells() {
+                for (name, a, b) in [
+                    ("jx", scatter.jx[v], gather.jx[v]),
+                    ("jy", scatter.jy[v], gather.jy[v]),
+                    ("jz", scatter.jz[v], gather.jz[v]),
+                ] {
+                    assert!(
+                        (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                        "{name}[{v}] scatter {a} vs gather {b} ({nx},{ny},{nz})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_unload_bit_identical_across_spaces_and_strategies() {
+        let g = Grid::new(5, 4, 3);
+        let mut acc = seeded_accumulator(&g, 3, ScatterMode::Duplicated);
+        let mut reference = FieldArray::new(g.clone());
+        acc.unload(&mut reference);
+        for strategy in Strategy::ALL {
+            for workers in [1, 2, 4, 7] {
+                let threads = pk::Threads::new(workers);
+                let mut f = FieldArray::new(g.clone());
+                acc.unload_on(&threads, strategy, &mut f);
+                assert_eq!(reference.jx, f.jx, "{strategy:?} {workers} workers");
+                assert_eq!(reference.jy, f.jy, "{strategy:?} {workers} workers");
+                assert_eq!(reference.jz, f.jz, "{strategy:?} {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn unload_scratch_is_reused() {
+        let g = Grid::new(4, 4, 4);
+        let mut acc = seeded_accumulator(&g, 1, ScatterMode::Atomic);
+        let mut f = FieldArray::new(g.clone());
+        assert_eq!(acc.scratch_capacity(), 0);
+        acc.unload(&mut f);
+        let cap = acc.scratch_capacity();
+        assert!(cap >= g.cells() * SLOTS);
+        for _ in 0..3 {
+            acc.unload(&mut f);
+            assert_eq!(acc.scratch_capacity(), cap, "unload reallocated scratch");
+        }
     }
 
     #[test]

@@ -9,8 +9,29 @@
 //! Units are normalized (`c = 1`, unit cells): the advance uses the raw
 //! `dt` factors. B is advanced in half steps around the E update, the
 //! standard leapfrog VPIC uses.
+//!
+//! ## Kernel structure (paper §3.1 applied to the field solve)
+//!
+//! The advance kernels sweep the grid one x-row (`(iy, iz)` pair) at a
+//! time. [`Grid::interior_xs`] splits each row into an *interior* span —
+//! where every stencil neighbor is an affine offset (`±1, ±nx, ±nx·ny`),
+//! so the loop is unit-stride with loop-invariant strides and vectorizes —
+//! and a boundary remainder that takes the general periodic
+//! [`Grid::neighbor`] path. The interior span dispatches on
+//! [`Strategy`]: *auto* is a plain fused scalar loop, *guided* splits the
+//! sweep into one pass per field component (the paper's kernel
+//! splitting), *manual* uses the portable [`SimdF32`] lanes and *ad hoc*
+//! the [`V4F32`] intrinsics type — all through the shared
+//! [`StencilLane`] op tree (`+`, `−`, `×` only; no FMA), so every
+//! strategy and every worker count produces bit-identical fields.
+//! Rows write disjoint output spans, which makes the row-parallel
+//! `parallel_for` deterministic for free.
 
-use crate::grid::Grid;
+use crate::grid::{Grid, StencilSide};
+use pk::{ExecSpace, SendPtr, Serial};
+use std::ops::Range;
+use vsimd::v4::V4F32;
+use vsimd::{SimdF32, StencilLane, Strategy};
 
 /// The field state: E, B, and the current J accumulated by the push.
 #[derive(Debug, Clone)]
@@ -37,6 +58,73 @@ pub struct FieldArray {
     pub jz: Vec<f32>,
 }
 
+/// One interior curl-E pass: `dst[ix] -= dt·((p[v+sp]−p[v])·rp − (q[v+sq]−q[v])·rq)`
+/// over `xs`, with `dst` row-local (indexed by `ix`) and `p`/`q` global
+/// (indexed by `v = v0+ix`). Lane-width generic; the scalar tail re-enters
+/// at `L = f32`, so every width walks the same op tree.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn curl_e_pass<L: StencilLane>(
+    p: &[f32],
+    sp: usize,
+    rp: f32,
+    q: &[f32],
+    sq: usize,
+    rq: f32,
+    dst: &mut [f32],
+    v0: usize,
+    xs: Range<usize>,
+    dt: f32,
+) {
+    let (dtv, rpv, rqv) = (L::splat(dt), L::splat(rp), L::splat(rq));
+    let mut ix = xs.start;
+    while ix + L::LANES <= xs.end {
+        let v = v0 + ix;
+        let d = L::load(p, v + sp)
+            .sub(L::load(p, v))
+            .mul(rpv)
+            .sub(L::load(q, v + sq).sub(L::load(q, v)).mul(rqv));
+        L::load(dst, ix).sub(dtv.mul(d)).store(dst, ix);
+        ix += L::LANES;
+    }
+    if ix < xs.end {
+        curl_e_pass::<f32>(p, sp, rp, q, sq, rq, dst, v0, ix..xs.end, dt);
+    }
+}
+
+/// One interior curl-B pass: `dst[ix] += dt·((p[v]−p[v−sp])·rp − (q[v]−q[v−sq])·rq − j[v])`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn curl_b_pass<L: StencilLane>(
+    p: &[f32],
+    sp: usize,
+    rp: f32,
+    q: &[f32],
+    sq: usize,
+    rq: f32,
+    j: &[f32],
+    dst: &mut [f32],
+    v0: usize,
+    xs: Range<usize>,
+    dt: f32,
+) {
+    let (dtv, rpv, rqv) = (L::splat(dt), L::splat(rp), L::splat(rq));
+    let mut ix = xs.start;
+    while ix + L::LANES <= xs.end {
+        let v = v0 + ix;
+        let d = L::load(p, v)
+            .sub(L::load(p, v - sp))
+            .mul(rpv)
+            .sub(L::load(q, v).sub(L::load(q, v - sq)).mul(rqv))
+            .sub(L::load(j, v));
+        L::load(dst, ix).add(dtv.mul(d)).store(dst, ix);
+        ix += L::LANES;
+    }
+    if ix < xs.end {
+        curl_b_pass::<f32>(p, sp, rp, q, sq, rq, j, dst, v0, ix..xs.end, dt);
+    }
+}
+
 impl FieldArray {
     /// Zero-initialized fields on `grid`.
     pub fn new(grid: Grid) -> Self {
@@ -57,55 +145,288 @@ impl FieldArray {
 
     /// Zero the current arrays (start of every step).
     pub fn clear_j(&mut self) {
-        self.jx.fill(0.0);
-        self.jy.fill(0.0);
-        self.jz.fill(0.0);
+        self.clear_j_on(&Serial);
     }
 
-    /// Advance B by `frac·dt` with `∂B/∂t = −∇×E` (call with `0.5`
-    /// before and after the E update for the leapfrog).
-    pub fn advance_b(&mut self, frac: f32) {
-        let g = self.grid.clone();
+    /// [`FieldArray::clear_j`] with the row sweep distributed over `space`.
+    pub fn clear_j_on<S: ExecSpace>(&mut self, space: &S) {
+        let nx = self.grid.nx;
+        let rows = self.grid.rows();
+        let jx = SendPtr::new(self.jx.as_mut_ptr());
+        let jy = SendPtr::new(self.jy.as_mut_ptr());
+        let jz = SendPtr::new(self.jz.as_mut_ptr());
+        space.parallel_for(rows, move |r| {
+            // SAFETY: row spans are disjoint and each index `r` is visited
+            // exactly once, so each slice below is exclusively owned here.
+            unsafe {
+                std::slice::from_raw_parts_mut(jx.get().add(r * nx), nx).fill(0.0);
+                std::slice::from_raw_parts_mut(jy.get().add(r * nx), nx).fill(0.0);
+                std::slice::from_raw_parts_mut(jz.get().add(r * nx), nx).fill(0.0);
+            }
+        });
+    }
+
+    /// Serial reference for [`FieldArray::advance_b`]: the general wrapped
+    /// per-cell loop, kept as the bit-exactness oracle (and the pre-split
+    /// baseline the `repro -- field` bench measures against).
+    pub fn advance_b_ref(&mut self, frac: f32) {
+        let Self { grid: g, ex, ey, ez, bx, by, bz, .. } = self;
         let dt = g.dt * frac;
         let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
         for v in 0..g.cells() {
             let xp = g.neighbor(v, (1, 0, 0));
             let yp = g.neighbor(v, (0, 1, 0));
             let zp = g.neighbor(v, (0, 0, 1));
-            self.bx[v] -= dt * ((self.ez[yp] - self.ez[v]) * rdy - (self.ey[zp] - self.ey[v]) * rdz);
-            self.by[v] -= dt * ((self.ex[zp] - self.ex[v]) * rdz - (self.ez[xp] - self.ez[v]) * rdx);
-            self.bz[v] -= dt * ((self.ey[xp] - self.ey[v]) * rdx - (self.ex[yp] - self.ex[v]) * rdy);
+            bx[v] -= dt * ((ez[yp] - ez[v]) * rdy - (ey[zp] - ey[v]) * rdz);
+            by[v] -= dt * ((ex[zp] - ex[v]) * rdz - (ez[xp] - ez[v]) * rdx);
+            bz[v] -= dt * ((ey[xp] - ey[v]) * rdx - (ex[yp] - ex[v]) * rdy);
         }
     }
 
-    /// Advance E by a full `dt` with `∂E/∂t = ∇×B − J`.
-    pub fn advance_e(&mut self) {
-        let g = self.grid.clone();
+    /// Advance B by `frac·dt` with `∂B/∂t = −∇×E` (call with `0.5`
+    /// before and after the E update for the leapfrog).
+    pub fn advance_b(&mut self, frac: f32) {
+        self.advance_b_on(&Serial, Strategy::Auto, frac);
+    }
+
+    /// [`FieldArray::advance_b`] with the row sweep distributed over
+    /// `space` and the interior span vectorized per `strategy`.
+    /// Bit-identical to [`FieldArray::advance_b_ref`] for every strategy,
+    /// space, and worker count.
+    pub fn advance_b_on<S: ExecSpace>(&mut self, space: &S, strategy: Strategy, frac: f32) {
+        let Self { grid: g, ex, ey, ez, bx, by, bz, .. } = self;
+        let dt = g.dt * frac;
+        let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
+        let (ex, ey, ez) = (ex.as_slice(), ey.as_slice(), ez.as_slice());
+        let (sy, sz) = (g.nx, g.nx * g.ny);
+        let nx = g.nx;
+        let pbx = SendPtr::new(bx.as_mut_ptr());
+        let pby = SendPtr::new(by.as_mut_ptr());
+        let pbz = SendPtr::new(bz.as_mut_ptr());
+        let g = &*g;
+        space.parallel_for(g.rows(), move |r| {
+            let row = g.row_range(r);
+            let v0 = row.start;
+            // SAFETY: rows are disjoint; this invocation exclusively owns
+            // row `r`'s span of each B array.
+            let (bxr, byr, bzr) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pbx.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pby.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pbz.get().add(v0), nx),
+                )
+            };
+            let inner = g.interior_xs(r, StencilSide::Plus);
+            match strategy {
+                Strategy::Auto => {
+                    // fused plain loop: affine neighbors, left to LLVM
+                    for ix in inner.clone() {
+                        let v = v0 + ix;
+                        bxr[ix] -= dt * ((ez[v + sy] - ez[v]) * rdy - (ey[v + sz] - ey[v]) * rdz);
+                        byr[ix] -= dt * ((ex[v + sz] - ex[v]) * rdz - (ez[v + 1] - ez[v]) * rdx);
+                        bzr[ix] -= dt * ((ey[v + 1] - ey[v]) * rdx - (ex[v + sy] - ex[v]) * rdy);
+                    }
+                }
+                Strategy::Guided => {
+                    // kernel splitting: one single-component pass each
+                    curl_e_pass::<f32>(ez, sy, rdy, ey, sz, rdz, bxr, v0, inner.clone(), dt);
+                    curl_e_pass::<f32>(ex, sz, rdz, ez, 1, rdx, byr, v0, inner.clone(), dt);
+                    curl_e_pass::<f32>(ey, 1, rdx, ex, sy, rdy, bzr, v0, inner.clone(), dt);
+                }
+                Strategy::Manual => {
+                    curl_e_pass::<SimdF32<4>>(ez, sy, rdy, ey, sz, rdz, bxr, v0, inner.clone(), dt);
+                    curl_e_pass::<SimdF32<4>>(ex, sz, rdz, ez, 1, rdx, byr, v0, inner.clone(), dt);
+                    curl_e_pass::<SimdF32<4>>(ey, 1, rdx, ex, sy, rdy, bzr, v0, inner.clone(), dt);
+                }
+                Strategy::AdHoc => {
+                    curl_e_pass::<V4F32>(ez, sy, rdy, ey, sz, rdz, bxr, v0, inner.clone(), dt);
+                    curl_e_pass::<V4F32>(ex, sz, rdz, ez, 1, rdx, byr, v0, inner.clone(), dt);
+                    curl_e_pass::<V4F32>(ey, 1, rdx, ex, sy, rdy, bzr, v0, inner.clone(), dt);
+                }
+            }
+            // boundary shell: general periodic path, same op tree
+            for ix in (0..inner.start).chain(inner.end..nx) {
+                let v = v0 + ix;
+                let xp = g.neighbor(v, (1, 0, 0));
+                let yp = g.neighbor(v, (0, 1, 0));
+                let zp = g.neighbor(v, (0, 0, 1));
+                bxr[ix] -= dt * ((ez[yp] - ez[v]) * rdy - (ey[zp] - ey[v]) * rdz);
+                byr[ix] -= dt * ((ex[zp] - ex[v]) * rdz - (ez[xp] - ez[v]) * rdx);
+                bzr[ix] -= dt * ((ey[xp] - ey[v]) * rdx - (ex[yp] - ex[v]) * rdy);
+            }
+        });
+    }
+
+    /// Serial reference for [`FieldArray::advance_e`] (see
+    /// [`FieldArray::advance_b_ref`]).
+    pub fn advance_e_ref(&mut self) {
+        let Self { grid: g, ex, ey, ez, bx, by, bz, jx, jy, jz } = self;
         let dt = g.dt;
         let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
         for v in 0..g.cells() {
             let xm = g.neighbor(v, (-1, 0, 0));
             let ym = g.neighbor(v, (0, -1, 0));
             let zm = g.neighbor(v, (0, 0, -1));
-            self.ex[v] += dt
-                * ((self.bz[v] - self.bz[ym]) * rdy - (self.by[v] - self.by[zm]) * rdz
-                    - self.jx[v]);
-            self.ey[v] += dt
-                * ((self.bx[v] - self.bx[zm]) * rdz - (self.bz[v] - self.bz[xm]) * rdx
-                    - self.jy[v]);
-            self.ez[v] += dt
-                * ((self.by[v] - self.by[xm]) * rdx - (self.bx[v] - self.bx[ym]) * rdy
-                    - self.jz[v]);
+            ex[v] += dt * ((bz[v] - bz[ym]) * rdy - (by[v] - by[zm]) * rdz - jx[v]);
+            ey[v] += dt * ((bx[v] - bx[zm]) * rdz - (bz[v] - bz[xm]) * rdx - jy[v]);
+            ez[v] += dt * ((by[v] - by[xm]) * rdx - (bx[v] - bx[ym]) * rdy - jz[v]);
         }
     }
 
+    /// Advance E by a full `dt` with `∂E/∂t = ∇×B − J`.
+    pub fn advance_e(&mut self) {
+        self.advance_e_on(&Serial, Strategy::Auto);
+    }
+
+    /// [`FieldArray::advance_e`] with the row sweep distributed over
+    /// `space` and the interior span vectorized per `strategy`.
+    /// Bit-identical to [`FieldArray::advance_e_ref`] for every strategy,
+    /// space, and worker count.
+    pub fn advance_e_on<S: ExecSpace>(&mut self, space: &S, strategy: Strategy) {
+        let Self { grid: g, ex, ey, ez, bx, by, bz, jx, jy, jz } = self;
+        let dt = g.dt;
+        let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
+        let (bx, by, bz) = (bx.as_slice(), by.as_slice(), bz.as_slice());
+        let (jx, jy, jz) = (jx.as_slice(), jy.as_slice(), jz.as_slice());
+        let (sy, sz) = (g.nx, g.nx * g.ny);
+        let nx = g.nx;
+        let pex = SendPtr::new(ex.as_mut_ptr());
+        let pey = SendPtr::new(ey.as_mut_ptr());
+        let pez = SendPtr::new(ez.as_mut_ptr());
+        let g = &*g;
+        space.parallel_for(g.rows(), move |r| {
+            let row = g.row_range(r);
+            let v0 = row.start;
+            // SAFETY: rows are disjoint; this invocation exclusively owns
+            // row `r`'s span of each E array.
+            let (exr, eyr, ezr) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pex.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pey.get().add(v0), nx),
+                    std::slice::from_raw_parts_mut(pez.get().add(v0), nx),
+                )
+            };
+            let inner = g.interior_xs(r, StencilSide::Minus);
+            match strategy {
+                Strategy::Auto => {
+                    for ix in inner.clone() {
+                        let v = v0 + ix;
+                        exr[ix] +=
+                            dt * ((bz[v] - bz[v - sy]) * rdy - (by[v] - by[v - sz]) * rdz - jx[v]);
+                        eyr[ix] +=
+                            dt * ((bx[v] - bx[v - sz]) * rdz - (bz[v] - bz[v - 1]) * rdx - jy[v]);
+                        ezr[ix] +=
+                            dt * ((by[v] - by[v - 1]) * rdx - (bx[v] - bx[v - sy]) * rdy - jz[v]);
+                    }
+                }
+                Strategy::Guided => {
+                    curl_b_pass::<f32>(bz, sy, rdy, by, sz, rdz, jx, exr, v0, inner.clone(), dt);
+                    curl_b_pass::<f32>(bx, sz, rdz, bz, 1, rdx, jy, eyr, v0, inner.clone(), dt);
+                    curl_b_pass::<f32>(by, 1, rdx, bx, sy, rdy, jz, ezr, v0, inner.clone(), dt);
+                }
+                Strategy::Manual => {
+                    curl_b_pass::<SimdF32<4>>(
+                        bz,
+                        sy,
+                        rdy,
+                        by,
+                        sz,
+                        rdz,
+                        jx,
+                        exr,
+                        v0,
+                        inner.clone(),
+                        dt,
+                    );
+                    curl_b_pass::<SimdF32<4>>(
+                        bx,
+                        sz,
+                        rdz,
+                        bz,
+                        1,
+                        rdx,
+                        jy,
+                        eyr,
+                        v0,
+                        inner.clone(),
+                        dt,
+                    );
+                    curl_b_pass::<SimdF32<4>>(
+                        by,
+                        1,
+                        rdx,
+                        bx,
+                        sy,
+                        rdy,
+                        jz,
+                        ezr,
+                        v0,
+                        inner.clone(),
+                        dt,
+                    );
+                }
+                Strategy::AdHoc => {
+                    curl_b_pass::<V4F32>(bz, sy, rdy, by, sz, rdz, jx, exr, v0, inner.clone(), dt);
+                    curl_b_pass::<V4F32>(bx, sz, rdz, bz, 1, rdx, jy, eyr, v0, inner.clone(), dt);
+                    curl_b_pass::<V4F32>(by, 1, rdx, bx, sy, rdy, jz, ezr, v0, inner.clone(), dt);
+                }
+            }
+            for ix in (0..inner.start).chain(inner.end..nx) {
+                let v = v0 + ix;
+                let xm = g.neighbor(v, (-1, 0, 0));
+                let ym = g.neighbor(v, (0, -1, 0));
+                let zm = g.neighbor(v, (0, 0, -1));
+                exr[ix] += dt * ((bz[v] - bz[ym]) * rdy - (by[v] - by[zm]) * rdz - jx[v]);
+                eyr[ix] += dt * ((bx[v] - bx[zm]) * rdz - (bz[v] - bz[xm]) * rdx - jy[v]);
+                ezr[ix] += dt * ((by[v] - by[xm]) * rdx - (bx[v] - bx[ym]) * rdy - jz[v]);
+            }
+        });
+    }
+
     /// Field energy `½∫(E² + B²)dV`, split as `(electric, magnetic)`.
+    ///
+    /// Summation order is per-row (voxel-major within a row, `ex² + ey² +
+    /// ez²` per voxel) then rows folded in row order — the same order
+    /// [`FieldArray::energies_on`] uses, so serial and parallel results
+    /// are bit-identical.
     pub fn energies(&self) -> (f64, f64) {
-        let cell_v = (self.grid.dx * self.grid.dy * self.grid.dz) as f64;
-        let sum_sq = |a: &[f32]| -> f64 { a.iter().map(|&x| (x as f64) * (x as f64)).sum() };
-        let e = 0.5 * cell_v * (sum_sq(&self.ex) + sum_sq(&self.ey) + sum_sq(&self.ez));
-        let b = 0.5 * cell_v * (sum_sq(&self.bx) + sum_sq(&self.by) + sum_sq(&self.bz));
-        (e, b)
+        self.energies_on(&Serial)
+    }
+
+    /// [`FieldArray::energies`] with per-row partial sums computed in
+    /// parallel, folded serially in row order. Bit-identical to the serial
+    /// result for any space or worker count (a plain block-joined
+    /// `parallel_reduce` would not be: its join tree depends on the
+    /// partition).
+    pub fn energies_on<S: ExecSpace>(&self, space: &S) -> (f64, f64) {
+        let g = &self.grid;
+        let rows = g.rows();
+        let mut partials = vec![(0.0f64, 0.0f64); rows];
+        {
+            let out = SendPtr::new(partials.as_mut_ptr());
+            let (ex, ey, ez) = (self.ex.as_slice(), self.ey.as_slice(), self.ez.as_slice());
+            let (bx, by, bz) = (self.bx.as_slice(), self.by.as_slice(), self.bz.as_slice());
+            space.parallel_for(rows, move |r| {
+                let (mut e, mut b) = (0.0f64, 0.0f64);
+                for v in g.row_range(r) {
+                    e += (ex[v] as f64) * (ex[v] as f64);
+                    e += (ey[v] as f64) * (ey[v] as f64);
+                    e += (ez[v] as f64) * (ez[v] as f64);
+                    b += (bx[v] as f64) * (bx[v] as f64);
+                    b += (by[v] as f64) * (by[v] as f64);
+                    b += (bz[v] as f64) * (bz[v] as f64);
+                }
+                // SAFETY: one writer per row index.
+                unsafe { *out.get().add(r) = (e, b) };
+            });
+        }
+        let cell_v = (g.dx * g.dy * g.dz) as f64;
+        let (mut se, mut sb) = (0.0f64, 0.0f64);
+        for (e, b) in partials {
+            se += e;
+            sb += b;
+        }
+        (0.5 * cell_v * se, 0.5 * cell_v * sb)
     }
 
     /// Discrete `∇·B` at the cell's node-dual (must stay ≈0 under FDTD).
@@ -141,6 +462,24 @@ mod tests {
     fn total_energy(f: &FieldArray) -> f64 {
         let (e, b) = f.energies();
         e + b
+    }
+
+    /// Deterministic non-trivial field state for bit-identity checks.
+    fn scrambled(g: &Grid) -> FieldArray {
+        let mut f = FieldArray::new(g.clone());
+        for v in 0..g.cells() {
+            let x = v as f32;
+            f.ex[v] = (x * 0.618).sin();
+            f.ey[v] = (x * 0.414).cos();
+            f.ez[v] = (x * 0.732).sin() - 0.3;
+            f.bx[v] = (x * 0.271).cos() * 0.5;
+            f.by[v] = (x * 0.161).sin() + 0.1;
+            f.bz[v] = (x * 0.577).cos() - 0.2;
+            f.jx[v] = (x * 0.321).sin() * 0.05;
+            f.jy[v] = (x * 0.123).cos() * 0.05;
+            f.jz[v] = (x * 0.913).sin() * 0.05;
+        }
+        f
     }
 
     #[test]
@@ -228,5 +567,72 @@ mod tests {
         f.advance_b(1.0);
         assert_eq!(f.bz, before.bz);
         assert!(f.ex.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn split_kernels_match_reference_bitwise() {
+        let threads = pk::Threads::new(3);
+        for (nx, ny, nz) in [(7, 5, 4), (4, 4, 4), (2, 2, 2), (1, 5, 5), (8, 1, 3), (1, 1, 1)] {
+            let g = Grid::new(nx, ny, nz);
+            let base = scrambled(&g);
+            let mut reference = base.clone();
+            reference.advance_b_ref(0.5);
+            reference.advance_e_ref();
+            reference.advance_b_ref(0.5);
+            for strategy in Strategy::ALL {
+                let mut serial = base.clone();
+                serial.advance_b_on(&Serial, strategy, 0.5);
+                serial.advance_e_on(&Serial, strategy);
+                serial.advance_b_on(&Serial, strategy, 0.5);
+                let mut parallel = base.clone();
+                parallel.advance_b_on(&threads, strategy, 0.5);
+                parallel.advance_e_on(&threads, strategy);
+                parallel.advance_b_on(&threads, strategy, 0.5);
+                for (name, r, s, p) in [
+                    ("ex", &reference.ex, &serial.ex, &parallel.ex),
+                    ("ey", &reference.ey, &serial.ey, &parallel.ey),
+                    ("ez", &reference.ez, &serial.ez, &parallel.ez),
+                    ("bx", &reference.bx, &serial.bx, &parallel.bx),
+                    ("by", &reference.by, &serial.by, &parallel.by),
+                    ("bz", &reference.bz, &serial.bz, &parallel.bz),
+                ] {
+                    for v in 0..g.cells() {
+                        assert_eq!(
+                            r[v].to_bits(),
+                            s[v].to_bits(),
+                            "{name}[{v}] {strategy:?} serial vs ref ({nx},{ny},{nz})"
+                        );
+                        assert_eq!(
+                            r[v].to_bits(),
+                            p[v].to_bits(),
+                            "{name}[{v}] {strategy:?} threads vs ref ({nx},{ny},{nz})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energies_deterministic_across_spaces() {
+        let g = Grid::new(6, 5, 4);
+        let f = scrambled(&g);
+        let serial = f.energies();
+        for workers in [1, 2, 3, 4, 7] {
+            let threads = pk::Threads::new(workers);
+            let par = f.energies_on(&threads);
+            assert_eq!(serial.0.to_bits(), par.0.to_bits(), "{workers} workers");
+            assert_eq!(serial.1.to_bits(), par.1.to_bits(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn clear_j_on_matches_serial() {
+        let g = Grid::new(5, 3, 2);
+        let mut f = scrambled(&g);
+        let threads = pk::Threads::new(2);
+        f.clear_j_on(&threads);
+        assert!(f.jx.iter().chain(&f.jy).chain(&f.jz).all(|&x| x == 0.0));
+        assert!(f.ex.iter().any(|&x| x != 0.0), "E untouched");
     }
 }

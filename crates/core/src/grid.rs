@@ -6,6 +6,19 @@
 //! models multi-domain decomposition and its halo traffic separately).
 
 use serde::Serialize;
+use std::ops::Range;
+
+/// Which side a stencil's neighbor offsets point to, for
+/// [`Grid::interior_xs`]: a *plus*-side stencil reads `+1, +nx, +nx·ny`
+/// (curl-E, interpolator load), a *minus*-side stencil reads
+/// `−1, −nx, −nx·ny` (curl-B, accumulator gather).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilSide {
+    /// Neighbors at `+1, +nx, +nx·ny`.
+    Plus,
+    /// Neighbors at `−1, −nx, −nx·ny`.
+    Minus,
+}
 
 /// Grid geometry and time step.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -79,6 +92,56 @@ impl Grid {
         )
     }
 
+    /// Number of x-rows: one per `(iy, iz)` pair. Row `r` covers the
+    /// contiguous voxel span [`Grid::row_range`] — the natural work unit
+    /// for the field pipeline's parallel sweeps (unit stride, one cache
+    /// line stream per array).
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.ny * self.nz
+    }
+
+    /// Contiguous voxel ids of row `r` (x-fastest ⇒ `r·nx .. (r+1)·nx`).
+    #[inline(always)]
+    pub fn row_range(&self, r: usize) -> Range<usize> {
+        debug_assert!(r < self.rows());
+        r * self.nx..(r + 1) * self.nx
+    }
+
+    /// `(iy, iz)` of row `r` (inverse of `r = iy + ny·iz`).
+    #[inline(always)]
+    pub fn row_coords(&self, r: usize) -> (usize, usize) {
+        debug_assert!(r < self.rows());
+        (r % self.ny, r / self.ny)
+    }
+
+    /// The x-range of row `r` whose cells are *interior* for a stencil on
+    /// `side`: every neighbor offset is affine (`±1, ±nx, ±nx·ny` with no
+    /// periodic wrap), so a sweep over this span needs no `neighbor` calls
+    /// and vectorizes. Rows on the wrapping face — and every row of a
+    /// degenerate dimension (`n == 1` wraps to itself) — return an empty
+    /// range; those cells take the general wrapped path.
+    #[inline(always)]
+    pub fn interior_xs(&self, r: usize, side: StencilSide) -> Range<usize> {
+        let (iy, iz) = self.row_coords(r);
+        match side {
+            StencilSide::Plus => {
+                if iy + 1 < self.ny && iz + 1 < self.nz && self.nx > 1 {
+                    0..self.nx - 1
+                } else {
+                    0..0
+                }
+            }
+            StencilSide::Minus => {
+                if iy >= 1 && iz >= 1 {
+                    1..self.nx
+                } else {
+                    0..0
+                }
+            }
+        }
+    }
+
     /// Physical domain volume.
     pub fn volume(&self) -> f32 {
         self.cells() as f32 * self.dx * self.dy * self.dz
@@ -148,6 +211,70 @@ mod tests {
     #[should_panic(expected = "Courant")]
     fn with_dt_rejects_unstable_step() {
         let _ = Grid::new(4, 4, 4).with_dt(1.0);
+    }
+
+    #[test]
+    fn rows_tile_the_grid_contiguously() {
+        let g = Grid::new(4, 3, 5);
+        assert_eq!(g.rows(), 15);
+        let mut next = 0;
+        for r in 0..g.rows() {
+            let span = g.row_range(r);
+            assert_eq!(span.start, next);
+            assert_eq!(span.len(), g.nx);
+            next = span.end;
+            let (iy, iz) = g.row_coords(r);
+            for (ix, v) in span.enumerate() {
+                assert_eq!(g.coords(v), (ix, iy, iz));
+            }
+        }
+        assert_eq!(next, g.cells());
+    }
+
+    #[test]
+    fn interior_cells_have_affine_neighbors() {
+        for (nx, ny, nz) in [(4, 3, 5), (1, 4, 4), (4, 1, 4), (4, 4, 1), (2, 2, 2), (1, 1, 1)] {
+            let g = Grid::new(nx, ny, nz);
+            let (sx, sy, sz) = (1isize, nx as isize, (nx * ny) as isize);
+            for r in 0..g.rows() {
+                let row = g.row_range(r);
+                for ix in g.interior_xs(r, StencilSide::Plus) {
+                    let v = row.start + ix;
+                    assert_eq!(g.neighbor(v, (1, 0, 0)) as isize, v as isize + sx);
+                    assert_eq!(g.neighbor(v, (0, 1, 0)) as isize, v as isize + sy);
+                    assert_eq!(g.neighbor(v, (0, 0, 1)) as isize, v as isize + sz);
+                    assert_eq!(g.neighbor(v, (0, 1, 1)) as isize, v as isize + sy + sz);
+                    assert_eq!(g.neighbor(v, (1, 1, 0)) as isize, v as isize + sx + sy);
+                    assert_eq!(g.neighbor(v, (1, 0, 1)) as isize, v as isize + sx + sz);
+                }
+                for ix in g.interior_xs(r, StencilSide::Minus) {
+                    let v = row.start + ix;
+                    assert_eq!(g.neighbor(v, (-1, 0, 0)) as isize, v as isize - sx);
+                    assert_eq!(g.neighbor(v, (0, -1, 0)) as isize, v as isize - sy);
+                    assert_eq!(g.neighbor(v, (0, 0, -1)) as isize, v as isize - sz);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_have_empty_interiors() {
+        for side in [StencilSide::Plus, StencilSide::Minus] {
+            let g = Grid::new(1, 1, 1);
+            assert!(g.interior_xs(0, side).is_empty());
+            // ny == 1: every row wraps in y on both sides
+            let g = Grid::new(8, 1, 4);
+            for r in 0..g.rows() {
+                assert!(g.interior_xs(r, side).is_empty(), "{side:?} row {r}");
+            }
+        }
+        // interior counts: plus side owns (nx-1)(ny-1)(nz-1) cells,
+        // minus side the same count shifted
+        let g = Grid::new(4, 3, 5);
+        for side in [StencilSide::Plus, StencilSide::Minus] {
+            let n: usize = (0..g.rows()).map(|r| g.interior_xs(r, side).len()).sum();
+            assert_eq!(n, (g.nx - 1) * (g.ny - 1) * (g.nz - 1), "{side:?}");
+        }
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! along its normal direction.
 
 use crate::field::FieldArray;
+use crate::grid::StencilSide;
+use pk::{ExecSpace, SendPtr};
+use std::ops::Range;
+use vsimd::v4::V4F32;
+use vsimd::{SimdF32, StencilLane, Strategy};
 
 /// Number of `f32` coefficients per cell.
 pub const COEFFS: usize = 18;
@@ -65,46 +70,258 @@ impl Interpolator {
     }
 }
 
-/// Compute the interpolator array from the current fields (VPIC's
-/// `load_interpolator_array`). One record per cell.
-#[allow(clippy::needless_range_loop)] // voxel-indexed sweep matches the math
-pub fn load_interpolators(f: &FieldArray) -> Vec<Interpolator> {
+/// A persistent, step-reusable interpolator buffer.
+///
+/// [`load_interpolators_into`] refills it in place, so a buffer owned by
+/// the simulation allocates once (on the first step, or when the grid
+/// grows) and is alloc-free on every later step — the per-step
+/// `vec![Interpolator::default(); cells]` the serial reference pays is
+/// exactly what this type removes.
+#[derive(Debug, Clone, Default)]
+pub struct InterpolatorArray {
+    data: Vec<Interpolator>,
+}
+
+impl InterpolatorArray {
+    /// An empty buffer; the first [`load_interpolators_into`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records currently held (equals the grid's cell count after a load).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True before the first load.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Backing capacity, for no-alloc-after-warmup assertions.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// The records as a slice (what the push kernels gather from).
+    pub fn as_slice(&self) -> &[Interpolator] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for InterpolatorArray {
+    type Target = [Interpolator];
+
+    fn deref(&self) -> &[Interpolator] {
+        &self.data
+    }
+}
+
+/// One single-E-component interior pass: the four bilinear coefficients of
+/// `a` over its transverse offsets `(s1, s2)`, written to coefficient
+/// indices `C0..C0+4`. Lane-width generic with a scalar re-entry tail, so
+/// every [`Strategy`] walks the identical op tree (see
+/// [`vsimd::stencil`]).
+#[inline(always)]
+fn e_pass<const C0: usize, L: StencilLane>(
+    a: &[f32],
+    s1: usize,
+    s2: usize,
+    out: &mut [Interpolator],
+    v0: usize,
+    xs: Range<usize>,
+) {
+    let quarter = L::splat(0.25);
+    let mut ix = xs.start;
+    while ix + L::LANES <= xs.end {
+        let v = v0 + ix;
+        let (e00, e10, e01, e11) =
+            (L::load(a, v), L::load(a, v + s1), L::load(a, v + s2), L::load(a, v + s1 + s2));
+        let c0 = quarter.mul(e00.add(e10).add(e01).add(e11));
+        let c1 = quarter.mul(e10.add(e11).sub(e00.add(e01)));
+        let c2 = quarter.mul(e01.add(e11).sub(e00.add(e10)));
+        let c3 = quarter.mul(e00.add(e11).sub(e10.add(e01)));
+        for l in 0..L::LANES {
+            let c = &mut out[ix + l].0;
+            c[C0] = c0.extract(l);
+            c[C0 + 1] = c1.extract(l);
+            c[C0 + 2] = c2.extract(l);
+            c[C0 + 3] = c3.extract(l);
+        }
+        ix += L::LANES;
+    }
+    if ix < xs.end {
+        e_pass::<C0, f32>(a, s1, s2, out, v0, ix..xs.end);
+    }
+}
+
+/// One single-B-component interior pass: midpoint and slope of `a` along
+/// its normal stride `s`, written to coefficient indices `C0..C0+2`.
+#[inline(always)]
+fn b_pass<const C0: usize, L: StencilLane>(
+    a: &[f32],
+    s: usize,
+    out: &mut [Interpolator],
+    v0: usize,
+    xs: Range<usize>,
+) {
+    let half = L::splat(0.5);
+    let mut ix = xs.start;
+    while ix + L::LANES <= xs.end {
+        let v = v0 + ix;
+        let (b0, b1) = (L::load(a, v), L::load(a, v + s));
+        let c0 = half.mul(b0.add(b1));
+        let c1 = half.mul(b1.sub(b0));
+        for l in 0..L::LANES {
+            let c = &mut out[ix + l].0;
+            c[C0] = c0.extract(l);
+            c[C0 + 1] = c1.extract(l);
+        }
+        ix += L::LANES;
+    }
+    if ix < xs.end {
+        b_pass::<C0, f32>(a, s, out, v0, ix..xs.end);
+    }
+}
+
+/// All six split passes for one interior span (guided/manual/ad hoc).
+#[inline(always)]
+fn split_passes<L: StencilLane>(
+    f: &FieldArray,
+    sy: usize,
+    sz: usize,
+    out: &mut [Interpolator],
+    v0: usize,
+    xs: Range<usize>,
+) {
+    e_pass::<EX0, L>(&f.ex, sy, sz, out, v0, xs.clone());
+    e_pass::<EY0, L>(&f.ey, sz, 1, out, v0, xs.clone());
+    e_pass::<EZ0, L>(&f.ez, 1, sy, out, v0, xs.clone());
+    b_pass::<CBX0, L>(&f.bx, 1, out, v0, xs.clone());
+    b_pass::<CBY0, L>(&f.by, sy, out, v0, xs.clone());
+    b_pass::<CBZ0, L>(&f.bz, sz, out, v0, xs);
+}
+
+/// The general wrapped per-cell record (boundary shell and the serial
+/// reference share this body).
+#[inline(always)]
+fn load_cell_wrapped(f: &FieldArray, v: usize, c: &mut [f32; COEFFS]) {
+    let g = &f.grid;
+    let xp = g.neighbor(v, (1, 0, 0));
+    let yp = g.neighbor(v, (0, 1, 0));
+    let zp = g.neighbor(v, (0, 0, 1));
+    let ypzp = g.neighbor(v, (0, 1, 1));
+    let zpxp = g.neighbor(v, (1, 0, 1));
+    let xpyp = g.neighbor(v, (1, 1, 0));
+    // ex: bilinear over (y, z); edges at (y∓, z∓)
+    let (e00, e10, e01, e11) = (f.ex[v], f.ex[yp], f.ex[zp], f.ex[ypzp]);
+    c[EX0] = 0.25 * (e00 + e10 + e01 + e11);
+    c[DEXDY] = 0.25 * ((e10 + e11) - (e00 + e01));
+    c[DEXDZ] = 0.25 * ((e01 + e11) - (e00 + e10));
+    c[D2EXDYDZ] = 0.25 * ((e00 + e11) - (e10 + e01));
+    // ey: bilinear over (z, x)
+    let (e00, e10, e01, e11) = (f.ey[v], f.ey[zp], f.ey[xp], f.ey[zpxp]);
+    c[EY0] = 0.25 * (e00 + e10 + e01 + e11);
+    c[DEYDZ] = 0.25 * ((e10 + e11) - (e00 + e01));
+    c[DEYDX] = 0.25 * ((e01 + e11) - (e00 + e10));
+    c[D2EYDZDX] = 0.25 * ((e00 + e11) - (e10 + e01));
+    // ez: bilinear over (x, y)
+    let (e00, e10, e01, e11) = (f.ez[v], f.ez[xp], f.ez[yp], f.ez[xpyp]);
+    c[EZ0] = 0.25 * (e00 + e10 + e01 + e11);
+    c[DEZDX] = 0.25 * ((e10 + e11) - (e00 + e01));
+    c[DEZDY] = 0.25 * ((e01 + e11) - (e00 + e10));
+    c[D2EZDXDY] = 0.25 * ((e00 + e11) - (e10 + e01));
+    // B: linear along each component's normal
+    c[CBX0] = 0.5 * (f.bx[v] + f.bx[xp]);
+    c[DCBXDX] = 0.5 * (f.bx[xp] - f.bx[v]);
+    c[CBY0] = 0.5 * (f.by[v] + f.by[yp]);
+    c[DCBYDY] = 0.5 * (f.by[yp] - f.by[v]);
+    c[CBZ0] = 0.5 * (f.bz[v] + f.bz[zp]);
+    c[DCBZDZ] = 0.5 * (f.bz[zp] - f.bz[v]);
+}
+
+/// Refill `out` from the current fields with the row sweep distributed
+/// over `space` and the interior span handled per `strategy` (the
+/// interior/boundary split of [`crate::grid::Grid::interior_xs`]).
+/// Bit-identical to [`load_interpolators`] for every strategy, space, and
+/// worker count; allocates only when `out`'s capacity is below the cell
+/// count.
+pub fn load_interpolators_into<S: ExecSpace>(
+    space: &S,
+    strategy: Strategy,
+    f: &FieldArray,
+    out: &mut InterpolatorArray,
+) {
     let g = &f.grid;
     let n = g.cells();
+    out.data.clear();
+    out.data.resize(n, Interpolator::default());
+    let nx = g.nx;
+    let (sy, sz) = (g.nx, g.nx * g.ny);
+    let pout = SendPtr::new(out.data.as_mut_ptr());
+    space.parallel_for(g.rows(), move |r| {
+        let row = g.row_range(r);
+        let v0 = row.start;
+        // SAFETY: rows are disjoint; this invocation exclusively owns row
+        // `r`'s span of the output.
+        let outr = unsafe { std::slice::from_raw_parts_mut(pout.get().add(v0), nx) };
+        let inner = g.interior_xs(r, StencilSide::Plus);
+        match strategy {
+            Strategy::Auto => {
+                // fused plain loop with affine offsets
+                for ix in inner.clone() {
+                    let v = v0 + ix;
+                    let c = &mut outr[ix].0;
+                    let (e00, e10, e01, e11) =
+                        (f.ex[v], f.ex[v + sy], f.ex[v + sz], f.ex[v + sy + sz]);
+                    c[EX0] = 0.25 * (e00 + e10 + e01 + e11);
+                    c[DEXDY] = 0.25 * ((e10 + e11) - (e00 + e01));
+                    c[DEXDZ] = 0.25 * ((e01 + e11) - (e00 + e10));
+                    c[D2EXDYDZ] = 0.25 * ((e00 + e11) - (e10 + e01));
+                    let (e00, e10, e01, e11) =
+                        (f.ey[v], f.ey[v + sz], f.ey[v + 1], f.ey[v + sz + 1]);
+                    c[EY0] = 0.25 * (e00 + e10 + e01 + e11);
+                    c[DEYDZ] = 0.25 * ((e10 + e11) - (e00 + e01));
+                    c[DEYDX] = 0.25 * ((e01 + e11) - (e00 + e10));
+                    c[D2EYDZDX] = 0.25 * ((e00 + e11) - (e10 + e01));
+                    let (e00, e10, e01, e11) =
+                        (f.ez[v], f.ez[v + 1], f.ez[v + sy], f.ez[v + 1 + sy]);
+                    c[EZ0] = 0.25 * (e00 + e10 + e01 + e11);
+                    c[DEZDX] = 0.25 * ((e10 + e11) - (e00 + e01));
+                    c[DEZDY] = 0.25 * ((e01 + e11) - (e00 + e10));
+                    c[D2EZDXDY] = 0.25 * ((e00 + e11) - (e10 + e01));
+                    c[CBX0] = 0.5 * (f.bx[v] + f.bx[v + 1]);
+                    c[DCBXDX] = 0.5 * (f.bx[v + 1] - f.bx[v]);
+                    c[CBY0] = 0.5 * (f.by[v] + f.by[v + sy]);
+                    c[DCBYDY] = 0.5 * (f.by[v + sy] - f.by[v]);
+                    c[CBZ0] = 0.5 * (f.bz[v] + f.bz[v + sz]);
+                    c[DCBZDZ] = 0.5 * (f.bz[v + sz] - f.bz[v]);
+                }
+            }
+            Strategy::Guided => split_passes::<f32>(f, sy, sz, outr, v0, inner.clone()),
+            Strategy::Manual => split_passes::<SimdF32<4>>(f, sy, sz, outr, v0, inner.clone()),
+            Strategy::AdHoc => split_passes::<V4F32>(f, sy, sz, outr, v0, inner.clone()),
+        }
+        // boundary shell: general periodic path
+        for ix in (0..inner.start).chain(inner.end..nx) {
+            load_cell_wrapped(f, v0 + ix, &mut outr[ix].0);
+        }
+    });
+}
+
+/// Compute the interpolator array from the current fields (VPIC's
+/// `load_interpolator_array`). One record per cell.
+///
+/// This is the serial wrapped-path reference (and back-compat
+/// convenience): it allocates a fresh `Vec` per call. The simulation loop
+/// uses [`load_interpolators_into`] with a persistent
+/// [`InterpolatorArray`] instead.
+#[allow(clippy::needless_range_loop)] // voxel-indexed sweep matches the math
+pub fn load_interpolators(f: &FieldArray) -> Vec<Interpolator> {
+    let n = f.grid.cells();
     let mut out = vec![Interpolator::default(); n];
     for v in 0..n {
-        let xp = g.neighbor(v, (1, 0, 0));
-        let yp = g.neighbor(v, (0, 1, 0));
-        let zp = g.neighbor(v, (0, 0, 1));
-        let ypzp = g.neighbor(v, (0, 1, 1));
-        let zpxp = g.neighbor(v, (1, 0, 1));
-        let xpyp = g.neighbor(v, (1, 1, 0));
-        let c = &mut out[v].0;
-        // ex: bilinear over (y, z); edges at (y∓, z∓)
-        let (e00, e10, e01, e11) = (f.ex[v], f.ex[yp], f.ex[zp], f.ex[ypzp]);
-        c[EX0] = 0.25 * (e00 + e10 + e01 + e11);
-        c[DEXDY] = 0.25 * ((e10 + e11) - (e00 + e01));
-        c[DEXDZ] = 0.25 * ((e01 + e11) - (e00 + e10));
-        c[D2EXDYDZ] = 0.25 * ((e00 + e11) - (e10 + e01));
-        // ey: bilinear over (z, x)
-        let (e00, e10, e01, e11) = (f.ey[v], f.ey[zp], f.ey[xp], f.ey[zpxp]);
-        c[EY0] = 0.25 * (e00 + e10 + e01 + e11);
-        c[DEYDZ] = 0.25 * ((e10 + e11) - (e00 + e01));
-        c[DEYDX] = 0.25 * ((e01 + e11) - (e00 + e10));
-        c[D2EYDZDX] = 0.25 * ((e00 + e11) - (e10 + e01));
-        // ez: bilinear over (x, y)
-        let (e00, e10, e01, e11) = (f.ez[v], f.ez[xp], f.ez[yp], f.ez[xpyp]);
-        c[EZ0] = 0.25 * (e00 + e10 + e01 + e11);
-        c[DEZDX] = 0.25 * ((e10 + e11) - (e00 + e01));
-        c[DEZDY] = 0.25 * ((e01 + e11) - (e00 + e10));
-        c[D2EZDXDY] = 0.25 * ((e00 + e11) - (e10 + e01));
-        // B: linear along each component's normal
-        c[CBX0] = 0.5 * (f.bx[v] + f.bx[xp]);
-        c[DCBXDX] = 0.5 * (f.bx[xp] - f.bx[v]);
-        c[CBY0] = 0.5 * (f.by[v] + f.by[yp]);
-        c[DCBYDY] = 0.5 * (f.by[yp] - f.by[v]);
-        c[CBZ0] = 0.5 * (f.bz[v] + f.bz[zp]);
-        c[DCBZDZ] = 0.5 * (f.bz[zp] - f.bz[v]);
+        load_cell_wrapped(f, v, &mut out[v].0);
     }
     out
 }
@@ -179,6 +396,59 @@ mod tests {
         assert!((ip.b_at(-1.0, 0.0, 0.0).0 - 10.0).abs() < 1e-6);
         assert!((ip.b_at(1.0, 0.0, 0.0).0 - 20.0).abs() < 1e-6);
         assert!((ip.b_at(0.0, 0.0, 0.0).0 - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_into_matches_reference_bitwise_for_all_strategies() {
+        let threads = pk::Threads::new(3);
+        for (nx, ny, nz) in [(6, 5, 4), (2, 2, 2), (1, 4, 4), (5, 1, 3), (1, 1, 1)] {
+            let g = Grid::new(nx, ny, nz);
+            let mut f = FieldArray::new(g.clone());
+            for v in 0..g.cells() {
+                let x = v as f32;
+                f.ex[v] = (x * 0.618).sin();
+                f.ey[v] = (x * 0.414).cos();
+                f.ez[v] = (x * 0.732).sin();
+                f.bx[v] = (x * 0.271).cos();
+                f.by[v] = (x * 0.161).sin();
+                f.bz[v] = (x * 0.577).cos();
+            }
+            let reference = load_interpolators(&f);
+            let mut buf = InterpolatorArray::new();
+            for strategy in Strategy::ALL {
+                load_interpolators_into(&pk::Serial, strategy, &f, &mut buf);
+                assert_eq!(buf.len(), reference.len());
+                for (v, (a, b)) in reference.iter().zip(buf.as_slice()).enumerate() {
+                    for k in 0..COEFFS {
+                        assert_eq!(
+                            a.0[k].to_bits(),
+                            b.0[k].to_bits(),
+                            "serial cell {v} coeff {k} {strategy:?} ({nx},{ny},{nz})"
+                        );
+                    }
+                }
+                load_interpolators_into(&threads, strategy, &f, &mut buf);
+                for (v, (a, b)) in reference.iter().zip(buf.as_slice()).enumerate() {
+                    assert_eq!(a, b, "threads cell {v} {strategy:?} ({nx},{ny},{nz})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reload_into_does_not_reallocate() {
+        let g = Grid::new(8, 6, 4);
+        let mut f = FieldArray::new(g);
+        let mut buf = InterpolatorArray::new();
+        assert!(buf.is_empty());
+        load_interpolators_into(&pk::Serial, Strategy::Auto, &f, &mut buf);
+        let cap = buf.capacity();
+        assert!(cap >= buf.len());
+        f.ex.fill(1.0);
+        for strategy in Strategy::ALL {
+            load_interpolators_into(&pk::Serial, strategy, &f, &mut buf);
+            assert_eq!(buf.capacity(), cap, "{strategy:?} reallocated");
+        }
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod tune;
 
 pub use checkpoint::StepError;
 pub use deck::Deck;
-pub use grid::Grid;
+pub use field::FieldArray;
+pub use grid::{Grid, StencilSide};
+pub use interp::{load_interpolators, load_interpolators_into, Interpolator, InterpolatorArray};
 pub use sim::Simulation;
 pub use species::Species;
 pub use tune::TuneDriver;

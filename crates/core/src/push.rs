@@ -828,7 +828,7 @@ mod tests {
     fn deposit_total_matches_charge_times_displacement() {
         // total accumulated jx (all cells) = Σ qw·Δξ regardless of crossings
         let grid = Grid::new(4, 4, 4);
-        let (mut f, acc) = setup(&grid);
+        let (mut f, mut acc) = setup(&grid);
         let interps = load_interpolators(&f);
         let mut s = Species::new("e", -1.0, 1.0);
         s.push_particle(0.9, 0.1, -0.3, 21, 1.5, 0.0, 0.0, 2.0);
@@ -865,11 +865,11 @@ mod tests {
         let threads = Threads::new(4);
         for strat in [Strategy::Auto, Strategy::Guided, Strategy::Manual, Strategy::AdHoc] {
             let mut serial_s = make();
-            let serial_acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+            let mut serial_acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
             let serial_stats =
                 push_species(strat, &grid, &mut serial_s, &interps, &serial_acc);
             let mut par_s = make();
-            let par_acc =
+            let mut par_acc =
                 Accumulator::new(grid.cells(), threads.concurrency(), ScatterMode::Duplicated);
             let par_stats =
                 push_species_on(&threads, strat, &grid, &mut par_s, &interps, &par_acc);
@@ -905,7 +905,7 @@ mod tests {
     fn continuity_through_the_full_push_with_crossings() {
         use crate::accumulate::{deposit_rho_node, div_j_node};
         let grid = Grid::new(5, 5, 5);
-        let (mut f, acc) = setup(&grid);
+        let (mut f, mut acc) = setup(&grid);
         let interps = load_interpolators(&f);
         let mut s = Species::new("e", -1.0, 1.0);
         s.load_uniform(&grid, 300, 0.4, (0.1, -0.2, 0.3), 1.0, 13);

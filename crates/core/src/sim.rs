@@ -10,7 +10,7 @@ use crate::accumulate::Accumulator;
 use crate::energy::EnergySnapshot;
 use crate::field::FieldArray;
 use crate::grid::Grid;
-use crate::interp::{load_interpolators, Interpolator};
+use crate::interp::{load_interpolators, load_interpolators_into, Interpolator, InterpolatorArray};
 use crate::push::{push_species_on, PushStats};
 use crate::species::Species;
 use crate::tune::TuneDriver;
@@ -57,6 +57,10 @@ pub struct Simulation {
     /// skip makes it free).
     pub(crate) steps_since_sort: usize,
     acc: Accumulator,
+    /// Step-persistent interpolator buffer, refilled in place every step
+    /// (zero per-step allocation after warmup). Derived state: rebuilt
+    /// from the fields, so checkpoints don't carry it.
+    interp: InterpolatorArray,
     /// Worker count the accumulator was last sized for. Tracked here
     /// (the accumulator only materializes replicas in duplicated mode)
     /// so a checkpoint can rebuild an identical accumulator on restore —
@@ -90,6 +94,7 @@ impl Simulation {
             step: 0,
             steps_since_sort: usize::MAX,
             acc,
+            interp: InterpolatorArray::new(),
             scatter_workers: 1,
             tuner: None,
             last_sort_ns: 0,
@@ -220,14 +225,17 @@ impl Simulation {
             }
         }
         self.steps_since_sort = self.steps_since_sort.saturating_add(1);
-        let interps = {
+        // the persistent buffer is taken out of `self` for the span of
+        // the step so the push can borrow the species mutably alongside it
+        let mut interps = std::mem::take(&mut self.interp);
+        {
             let _s = telemetry::span("sim.interpolate");
-            load_interpolators(&self.fields)
-        };
+            load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
+        }
         let mut stats = PushStats::default();
         {
             let _s = telemetry::span("sim.push").arg("species", self.species.len());
-            self.fields.clear_j();
+            self.fields.clear_j_on(space);
             self.acc.reset();
             for s in &mut self.species {
                 let st =
@@ -243,9 +251,10 @@ impl Simulation {
         }
         telemetry::count("sim.particles_pushed", stats.pushed as u64);
         telemetry::count("sim.cell_crossings", stats.crossings as u64);
+        self.interp = interps;
         {
             let _s = telemetry::span("sim.accumulate");
-            self.acc.unload(&mut self.fields);
+            self.acc.unload_on(space, self.strategy, &mut self.fields);
         }
         {
             let _s = telemetry::span("sim.field_solve");
@@ -260,10 +269,10 @@ impl Simulation {
                     }
                 }
             }
-            // leapfrog field advance
-            self.fields.advance_b(0.5);
-            self.fields.advance_e();
-            self.fields.advance_b(0.5);
+            // leapfrog field advance (row-parallel, strategy-vectorized)
+            self.fields.advance_b_on(space, self.strategy, 0.5);
+            self.fields.advance_e_on(space, self.strategy);
+            self.fields.advance_b_on(space, self.strategy, 0.5);
         }
         self.step += 1;
         stats
@@ -325,6 +334,13 @@ impl Simulation {
             worst = worst.max(resid);
         }
         worst
+    }
+
+    /// Capacities of the step-persistent field-pipeline scratch — the
+    /// interpolator buffer and the accumulator's collect scratch — for
+    /// no-alloc-after-warmup assertions.
+    pub fn field_scratch_capacities(&self) -> (usize, usize) {
+        (self.interp.capacity(), self.acc.scratch_capacity())
     }
 
     /// Rebuild the accumulator for a different worker count / scatter

@@ -31,7 +31,7 @@ proptest! {
         let mut rho1 = vec![0.0f64; g.cells()];
         deposit_rho_node(&g, &mut rho0, cell, x0, y0, z0, qw);
         deposit_rho_node(&g, &mut rho1, cell, x1, y1, z1, qw);
-        let acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
+        let mut acc = Accumulator::new(g.cells(), 1, ScatterMode::Atomic);
         acc.deposit_segment(0, cell, x0, y0, z0, x1, y1, z1, qw);
         let mut f = FieldArray::new(g.clone());
         acc.unload(&mut f);

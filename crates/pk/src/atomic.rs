@@ -228,16 +228,31 @@ impl ScatterBuf {
 
     /// Reduce all contributions into a plain vector.
     pub fn collect(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.collect_into(&mut out);
+        out
+    }
+
+    /// [`ScatterBuf::collect`], but into caller-owned scratch: `out` is
+    /// cleared and refilled in place, so a buffer reused across steps
+    /// allocates only until its capacity first reaches `len` (the
+    /// no-alloc-after-warmup contract the accumulator unload relies on).
+    /// Replicas are summed in replica order, identical to `collect`.
+    pub fn collect_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.len, 0.0);
         match self.mode {
-            ScatterMode::Atomic => self.shared.to_vec(),
+            ScatterMode::Atomic => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.shared.load(i);
+                }
+            }
             ScatterMode::Duplicated => {
-                let mut out = vec![0.0f64; self.len];
                 for r in &self.replicas {
-                    for (o, v) in out.iter_mut().zip(r.to_vec()) {
-                        *o += v;
+                    for (i, o) in out.iter_mut().enumerate() {
+                        *o += r.load(i);
                     }
                 }
-                out
             }
         }
     }
@@ -311,6 +326,27 @@ mod tests {
             for &v in &out {
                 assert!((v - 100_000.0 / n as f64).abs() <= 1.0);
             }
+        }
+    }
+
+    #[test]
+    fn collect_into_matches_collect_and_reuses_capacity() {
+        for mode in [ScatterMode::Atomic, ScatterMode::Duplicated] {
+            let buf = ScatterBuf::new(16, 3, mode);
+            for i in 0..16 {
+                buf.add(i % 3, i, i as f64 * 0.5);
+                buf.add((i + 1) % 3, i, 1.0);
+            }
+            let fresh = buf.collect();
+            let mut scratch = Vec::new();
+            buf.collect_into(&mut scratch);
+            assert_eq!(fresh, scratch, "mode {mode:?}");
+            // stale contents are overwritten, capacity is reused
+            scratch.iter_mut().for_each(|v| *v = f64::NAN);
+            let cap = scratch.capacity();
+            buf.collect_into(&mut scratch);
+            assert_eq!(fresh, scratch);
+            assert_eq!(scratch.capacity(), cap, "collect_into reallocated");
         }
     }
 

@@ -51,7 +51,7 @@ pub mod view;
 pub use layout::Layout;
 pub use mdrange::{parallel_for_2d, parallel_for_3d, MDRange2, MDRange3};
 pub use parallel::{parallel_for, parallel_for_mut, parallel_reduce, parallel_scan};
-pub use pool::{DispatchPanic, WorkerPool};
+pub use pool::{DispatchPanic, SendPtr, WorkerPool};
 pub use range::{RangePolicy, Schedule};
 pub use reduce::{Max, Min, MinMax, Prod, Reducer, Sum};
 pub use space::{ExecSpace, Serial, Threads};

@@ -336,13 +336,22 @@ fn worker_loop(shared: &Shared, lane: usize) {
 
 /// Shareable raw base pointer for handing disjoint sub-slices to lanes.
 /// The caller must guarantee the lanes' index sets are disjoint.
-pub(crate) struct SendPtr<T>(pub *mut T);
+///
+/// Public so kernels outside `pk` (e.g. the field-solve row sweeps in
+/// `vpic-core`) can reuse the same disjoint-write idiom the pool's own
+/// `run_chunks_mut` uses instead of reinventing an unsafe wrapper.
+pub struct SendPtr<T>(pub *mut T);
 
 impl<T> SendPtr<T> {
+    /// Wrap a base pointer (typically `slice.as_mut_ptr()`).
+    pub fn new(p: *mut T) -> Self {
+        Self(p)
+    }
+
     /// By-value accessor: closures calling this capture the whole
     /// wrapper (which is `Sync`), not the raw-pointer field (which
     /// is not — Rust 2021 closures capture fields individually).
-    pub(crate) fn get(self) -> *mut T {
+    pub fn get(self) -> *mut T {
         self.0
     }
 }

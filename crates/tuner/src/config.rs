@@ -15,7 +15,13 @@ pub struct Config {
     pub order: Option<SortOrder>,
     /// Steps between sorts. Ignored when `order` is `None`.
     pub interval: usize,
-    /// Push-kernel vectorization strategy.
+    /// Vectorization strategy. One knob drives the whole step: the
+    /// particle push *and* the grid-side field pipeline (interpolator
+    /// load, curl sweeps, current unload) all dispatch on the
+    /// simulation's single `strategy` field, so committing an arm
+    /// retunes every kernel at once. All field-kernel strategies are
+    /// bit-identical by construction, so the tuner's exploration never
+    /// perturbs the physics.
     pub strategy: Strategy,
     /// Current-deposition scatter mode.
     pub scatter: ScatterMode,

@@ -25,12 +25,14 @@ pub mod chunks;
 pub mod mask;
 pub mod math;
 pub mod simd;
+pub mod stencil;
 pub mod strategy;
 pub mod transpose;
 pub mod v4;
 
 pub use mask::Mask;
 pub use simd::{SimdF32, SimdF64, SimdI32};
+pub use stencil::StencilLane;
 pub use strategy::Strategy;
 
 /// Preferred portable lane count for `f32` on the build target.

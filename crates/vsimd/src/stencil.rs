@@ -1,0 +1,229 @@
+//! Lane abstraction for structured-grid stencil kernels.
+//!
+//! The field-solve / interpolator kernels in `vpic-core` sweep contiguous
+//! row spans where every neighbor offset is affine (`±1, ±nx, ±nx·ny`), so
+//! the same kernel body works at any lane width: scalar (`f32`, the *auto*
+//! strategy's reference op tree), portable SIMD ([`SimdF32<4>`], the
+//! *manual* strategy), and the VPIC-1.2-style intrinsics type
+//! ([`V4F32`], the *ad hoc* strategy).
+//!
+//! [`StencilLane`] deliberately exposes only `+`, `−`, `×` (no FMA, no
+//! approximate reciprocals): those three ops are IEEE-754-exact at every
+//! width, so one generic kernel body instantiated at different widths
+//! produces **bit-identical** results — the property the field pipeline's
+//! strategy dispatch relies on. Keep `fma`/`rsqrt` out of this trait; their
+//! results are target- and width-dependent.
+
+use crate::simd::SimdF32;
+use crate::v4::V4F32;
+
+/// One vector lane group for stencil sweeps: unit-stride loads/stores at a
+/// base offset plus exact `+`, `−`, `×`.
+///
+/// Implementations must be *width-transparent*: for any inputs, lane `l` of
+/// `a.add(b)` equals `f32::add` of lane `l` of `a` and `b` (and likewise
+/// `sub`/`mul`), so scalar and SIMD instantiations of one generic kernel
+/// agree bitwise.
+pub trait StencilLane: Copy {
+    /// Lane count (1 for the scalar instantiation).
+    const LANES: usize;
+
+    /// Broadcast a scalar to all lanes.
+    fn splat(v: f32) -> Self;
+
+    /// Load `LANES` consecutive values starting at `src[offset]`.
+    fn load(src: &[f32], offset: usize) -> Self;
+
+    /// Store `LANES` consecutive values starting at `dst[offset]`.
+    fn store(self, dst: &mut [f32], offset: usize);
+
+    /// Lanewise exact addition.
+    fn add(self, rhs: Self) -> Self;
+
+    /// Lanewise exact subtraction.
+    fn sub(self, rhs: Self) -> Self;
+
+    /// Lanewise exact multiplication.
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Extract lane `l` (used for AoS stores narrower than the lane width).
+    fn extract(self, l: usize) -> f32;
+}
+
+impl StencilLane for f32 {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32], offset: usize) -> Self {
+        src[offset]
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32], offset: usize) {
+        dst[offset] = self;
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline(always)]
+    fn extract(self, l: usize) -> f32 {
+        debug_assert_eq!(l, 0);
+        self
+    }
+}
+
+impl StencilLane for SimdF32<4> {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        SimdF32::splat(v)
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32], offset: usize) -> Self {
+        SimdF32::load(src, offset)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32], offset: usize) {
+        SimdF32::store(self, dst, offset)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline(always)]
+    fn extract(self, l: usize) -> f32 {
+        self.lane(l)
+    }
+}
+
+impl StencilLane for V4F32 {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        V4F32::splat(v)
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32], offset: usize) -> Self {
+        V4F32::load(src, offset)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32], offset: usize) {
+        V4F32::store(self, dst, offset)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        V4F32::add(self, rhs)
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        V4F32::sub(self, rhs)
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        V4F32::mul(self, rhs)
+    }
+
+    #[inline(always)]
+    fn extract(self, l: usize) -> f32 {
+        self.to_array()[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // one representative stencil body: b -= dt * ((a[y+] - a[v])*r1 - (c[z+] - c[v])*r2)
+    fn curl_like<L: StencilLane>(a: &[f32], c: &[f32], b: &mut [f32], off: usize) {
+        let dt = L::splat(0.3);
+        let r1 = L::splat(1.7);
+        let r2 = L::splat(0.9);
+        let av = L::load(a, off);
+        let ay = L::load(a, off + 1);
+        let cv = L::load(c, off);
+        let cz = L::load(c, off + 2);
+        let old = L::load(b, off);
+        let upd = old.sub(dt.mul(ay.sub(av).mul(r1).sub(cz.sub(cv).mul(r2))));
+        upd.store(b, off);
+    }
+
+    #[test]
+    fn all_widths_agree_bitwise() {
+        let a: Vec<f32> = (0..16).map(|i| (i as f32 * 0.618).sin()).collect();
+        let c: Vec<f32> = (0..16).map(|i| (i as f32 * 0.417).cos()).collect();
+        let base: Vec<f32> = (0..16).map(|i| i as f32 * 0.01).collect();
+
+        let mut scalar = base.clone();
+        for off in 0..4 {
+            curl_like::<f32>(&a, &c, &mut scalar, off);
+        }
+        let mut manual = base.clone();
+        curl_like::<SimdF32<4>>(&a, &c, &mut manual, 0);
+        let mut adhoc = base.clone();
+        curl_like::<V4F32>(&a, &c, &mut adhoc, 0);
+
+        // scalar applied per-offset overlaps itself; redo scalar the same
+        // way the vector version sees it: independent lanes from `base`
+        let mut scalar_lanes = base.clone();
+        for off in 0..4 {
+            let mut tmp = base.clone();
+            curl_like::<f32>(&a, &c, &mut tmp, off);
+            scalar_lanes[off] = tmp[off];
+        }
+        for l in 0..4 {
+            assert_eq!(scalar_lanes[l].to_bits(), manual[l].to_bits(), "manual lane {l}");
+            assert_eq!(scalar_lanes[l].to_bits(), adhoc[l].to_bits(), "adhoc lane {l}");
+        }
+    }
+
+    #[test]
+    fn extract_matches_store() {
+        let src: Vec<f32> = (0..8).map(|i| i as f32 + 0.5).collect();
+        let m = <SimdF32<4> as StencilLane>::load(&src, 2);
+        let v = <V4F32 as StencilLane>::load(&src, 2);
+        for l in 0..4 {
+            assert_eq!(m.extract(l), src[2 + l]);
+            assert_eq!(v.extract(l), src[2 + l]);
+        }
+        assert_eq!(<f32 as StencilLane>::load(&src, 3).extract(0), src[3]);
+    }
+}

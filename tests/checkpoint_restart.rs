@@ -88,6 +88,37 @@ proptest! {
         assert_bit_identical(&full, &resumed);
     }
 
+    /// Same resume contract with the *parallel field pipeline* armed:
+    /// threaded execution, a non-Auto vectorization strategy, and
+    /// replicated scatter. The persistent interpolator array and unload
+    /// scratch are derived state — a restored run rebuilds them on its
+    /// first step and must land on exactly the bits of the
+    /// uninterrupted run.
+    #[test]
+    fn restore_resumes_bit_identically_with_parallel_field_pipeline(
+        strat_tag in 1usize..4,
+        pool_workers in 2usize..5,
+        k in 1usize..6,
+        extra in 1usize..6,
+    ) {
+        let build = |/* fresh sim per run */| {
+            let mut sim = Deck::weibel(5, 5, 5, 4, 0.3).build();
+            sim.strategy = VecStrategy::ALL[strat_tag];
+            sim.configure_scatter(pool_workers, ScatterMode::Duplicated);
+            sim
+        };
+        let pool = vpic2::pk::Threads::new(pool_workers);
+        let n = k + extra;
+        let mut full = build();
+        full.run_on(&pool, n);
+        let mut half = build();
+        half.run_on(&pool, k);
+        let bytes = half.checkpoint_bytes();
+        let mut resumed = Simulation::restore_bytes(&bytes).expect("restore");
+        resumed.run_on(&pool, extra);
+        assert_bit_identical(&full, &resumed);
+    }
+
     /// Every prefix truncation of a snapshot fails with a typed error —
     /// never an `Ok` carrying partial state.
     #[test]
