@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod push;
+pub mod ranks;
 pub mod table1;
 pub mod timing;
 pub mod tune;

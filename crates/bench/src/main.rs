@@ -15,6 +15,8 @@
 //!   all    everything above
 //!
 //!   ckpt              checkpoint/restore cost vs step cost, resume check
+//!   ranks             executed multi-rank stepping: speedup + overlap
+//!                     at 1/2/4/8 virtual ranks vs the closed-form model
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
 //!   push              profiled push loop: spans reconciled vs wall time
 //!   field             grid-side pipeline (interpolate/solve/unload):
@@ -60,6 +62,7 @@ fn run_target(name: &str) -> bool {
         }
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
         "ckpt" => bench::save_json("ckpt", &bench::ckpt::run()),
+        "ranks" => bench::save_json("ranks", &bench::ranks::run()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         "push" => bench::save_json("push", &bench::push::run()),
         "field" => bench::save_json("field", &bench::field::run()),

@@ -1,0 +1,150 @@
+//! Executed multi-rank stepping vs the closed-form overlap model.
+//!
+//! Drives [`cluster::MultiRankSim`] over the LLC-resident Weibel deck at
+//! 1/2/4/8 virtual ranks and reports, per rank count: the executed mean
+//! step time (real per-rank kernels + real halo exchange, network time
+//! from the α–β model), the fraction of modeled exchange hidden behind
+//! interior compute, and the executed speedup next to the closed-form
+//! prediction `T(N) = T(1)/N + exposed(N)`. CI regression-checks
+//! `results/ranks.json`; the tier-1 suite asserts executed and model
+//! speedups agree within the tolerance EXPERIMENTS.md documents.
+
+use cluster::{systems, MultiRankSim};
+use serde::Serialize;
+use vpic_core::Deck;
+
+/// Rank counts the sweep executes.
+pub const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One executed rank-count point.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankPoint {
+    /// Virtual ranks stepped.
+    pub ranks: usize,
+    /// Measured steps (after warmup).
+    pub steps: usize,
+    /// Mean executed step: max over ranks of compute + exposed exchange, s.
+    pub mean_step_s: f64,
+    /// Mean per-step compute wall of the slowest rank, s.
+    pub mean_compute_s: f64,
+    /// Σ modeled exchange time across ranks and steps, s.
+    pub modeled_exchange_s: f64,
+    /// Σ exchange time not hidden behind overlapped compute, s.
+    pub exposed_exchange_s: f64,
+    /// Fraction of modeled exchange hidden by the overlap schedule.
+    pub hidden_fraction: f64,
+    /// Executed speedup vs the 1-rank executed step.
+    pub speedup_exec: f64,
+    /// Closed-form speedup: `T(1) / (T(1)/N + mean exposed per rank)`.
+    pub speedup_model: f64,
+    /// Ideal linear speedup (= ranks).
+    pub speedup_ideal: f64,
+}
+
+/// The `ranks` target's result set.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Deck description.
+    pub deck: String,
+    /// Global grid.
+    pub grid: (usize, usize, usize),
+    /// Particles per cell.
+    pub ppc: usize,
+    /// Interconnect modeled (Selene: GPU-aware α–β).
+    pub network: String,
+    /// Executed sweep points.
+    pub points: Vec<RankPoint>,
+    /// Hidden fraction aggregated over the multi-rank points — the
+    /// overlap-effectiveness headline (acceptance: ≥ 0.5 on this deck).
+    pub hidden_fraction_overall: f64,
+}
+
+/// Execute the sweep. `steps` measured steps per rank count after
+/// `warmup` unmeasured ones.
+pub fn sweep(grid: (usize, usize, usize), ppc: usize, warmup: usize, steps: usize) -> Report {
+    let network = systems::selene().network;
+    let reference = Deck::weibel(grid.0, grid.1, grid.2, ppc, 0.3).build();
+    let mut points = Vec::new();
+    let mut t1 = f64::NAN;
+    let mut hidden_sum = 0.0;
+    let mut modeled_sum = 0.0;
+    for &ranks in &RANK_COUNTS {
+        let mut mr = MultiRankSim::new(&reference, ranks, network);
+        mr.run(warmup);
+        let mut step_s = 0.0;
+        let mut compute_s = 0.0;
+        let mut modeled = 0.0;
+        let mut exposed = 0.0;
+        for _ in 0..steps {
+            let (_, _, t) = mr.step();
+            step_s += t.step_s;
+            compute_s += t.compute_s;
+            modeled += t.modeled_exchange_s;
+            exposed += t.exposed_exchange_s;
+        }
+        let mean_step_s = step_s / steps as f64;
+        if ranks == 1 {
+            t1 = mean_step_s;
+        }
+        let hidden = modeled - exposed;
+        if ranks > 1 {
+            hidden_sum += hidden;
+            modeled_sum += modeled;
+        }
+        // closed form: perfect compute scaling of the 1-rank step plus
+        // the mean per-rank exposed exchange the overlap could not hide
+        let exposed_per_rank_step = exposed / (steps as f64 * ranks as f64);
+        let model_step = t1 / ranks as f64 + exposed_per_rank_step;
+        points.push(RankPoint {
+            ranks,
+            steps,
+            mean_step_s,
+            mean_compute_s: compute_s / steps as f64,
+            modeled_exchange_s: modeled,
+            exposed_exchange_s: exposed,
+            hidden_fraction: if modeled == 0.0 { 1.0 } else { hidden / modeled },
+            speedup_exec: t1 / mean_step_s,
+            speedup_model: t1 / model_step,
+            speedup_ideal: ranks as f64,
+        });
+    }
+    Report {
+        deck: format!("weibel {}x{}x{} ppc {ppc} u=0.3", grid.0, grid.1, grid.2),
+        grid,
+        ppc,
+        network: "Selene (GPU-aware α–β)".into(),
+        points,
+        hidden_fraction_overall: if modeled_sum == 0.0 {
+            1.0
+        } else {
+            hidden_sum / modeled_sum
+        },
+    }
+}
+
+/// Run the `ranks` target and print the summary table.
+pub fn run() -> Report {
+    // LLC-resident on every platform the paper tables: 16³ cells
+    let report = sweep((16, 16, 16), 4, 2, 6);
+    println!("executed multi-rank stepping — {} over {}", report.deck, report.network);
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "ranks", "step (µs)", "compute (µs)", "exec ×", "model ×", "hidden"
+    );
+    for p in &report.points {
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>10.2} {:>10.2} {:>7.0}%",
+            p.ranks,
+            p.mean_step_s * 1e6,
+            p.mean_compute_s * 1e6,
+            p.speedup_exec,
+            p.speedup_model,
+            p.hidden_fraction * 100.0
+        );
+    }
+    println!(
+        "overlap hides {:.0}% of modeled exchange time across multi-rank points",
+        report.hidden_fraction_overall * 100.0
+    );
+    report
+}

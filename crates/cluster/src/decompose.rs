@@ -20,12 +20,20 @@ impl Decomposition {
     /// Decompose `global` over `ranks` ranks with a near-cubic processor
     /// grid that minimizes total surface area.
     ///
+    /// Among equally-balanced factorizations, one that fits the global
+    /// extent (no more ranks than cells along any axis) is preferred, so
+    /// decks with 1-cell axes get all their ranks along the long axes
+    /// instead of empty blocks. When no factorization fits (e.g. a prime
+    /// rank count larger than every axis), the extent-blind near-cubic
+    /// choice is kept and the surplus ranks own zero cells — `owner`
+    /// never returns such a rank.
+    ///
     /// # Panics
     /// Panics if `ranks` is zero or any global extent is zero.
     pub fn new(global: (usize, usize, usize), ranks: usize) -> Self {
         assert!(ranks >= 1, "need at least one rank");
         assert!(global.0 >= 1 && global.1 >= 1 && global.2 >= 1);
-        let dims = best_dims(ranks);
+        let dims = best_dims_for(global, ranks);
         Self { dims, global }
     }
 
@@ -84,10 +92,30 @@ impl Decomposition {
     }
 
     /// Surface cell count of rank `r` (cells with a face on the block
-    /// boundary, counted per face: the halo-exchange volume).
+    /// boundary, counted per *remote* face: the halo-exchange volume).
+    ///
+    /// Faces along an axis with a single rank are periodic
+    /// self-neighbors — their halo is filled from the rank's own block
+    /// without any network traffic — so they are excluded here; a single
+    /// rank therefore has zero surface, matching its zero exchange cost.
     pub fn surface_cells(&self, r: usize) -> usize {
         let (x, y, z) = self.local_extent(r);
-        2 * (x * y + y * z + x * z)
+        if x * y * z == 0 {
+            return 0; // empty rank (more ranks than cells on an axis)
+        }
+        let (px, py, pz) = self.dims;
+        let fx = if px > 1 { 2 * y * z } else { 0 };
+        let fy = if py > 1 { 2 * x * z } else { 0 };
+        let fz = if pz > 1 { 2 * x * y } else { 0 };
+        fx + fy + fz
+    }
+
+    /// Number of the six faces of `r` whose neighbor is a *different*
+    /// rank — the per-step message count the network model should charge.
+    /// Consistent with [`Decomposition::surface_cells`]: both exclude
+    /// periodic self-neighbor faces.
+    pub fn remote_faces(&self, r: usize) -> usize {
+        self.face_neighbors(r).iter().filter(|&&n| n != r).count()
     }
 
     /// The six periodic face-neighbor ranks of `r`
@@ -108,6 +136,36 @@ impl Decomposition {
             self.rank_of((cx, cy, wrap(cz, 1, pz))),
         ]
     }
+}
+
+/// [`best_dims`] constrained to the global extent: the best-balanced
+/// factorization with no more ranks than cells along any axis, falling
+/// back to the unconstrained choice when none fits.
+fn best_dims_for(global: (usize, usize, usize), n: usize) -> (usize, usize, usize) {
+    let mut best: Option<(usize, usize, usize)> = None;
+    let mut best_score = usize::MAX;
+    for a in 1..=n {
+        if !n.is_multiple_of(a) {
+            continue;
+        }
+        let rem = n / a;
+        for b in 1..=rem {
+            if !rem.is_multiple_of(b) {
+                continue;
+            }
+            let c = rem / b;
+            if a > global.0 || b > global.1 || c > global.2 {
+                continue;
+            }
+            let dims = [a, b, c];
+            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            if score < best_score {
+                best_score = score;
+                best = Some((a, b, c));
+            }
+        }
+    }
+    best.unwrap_or_else(|| best_dims(n))
 }
 
 /// Near-cubic factorization of `n` minimizing surface-to-volume.
@@ -230,13 +288,70 @@ mod tests {
     #[test]
     fn surface_shrinks_slower_than_volume() {
         // strong scaling: volume per rank ∝ 1/n, surface ∝ 1/n^(2/3)
+        // (compared between two fully-decomposed rank counts: a single
+        // rank has zero surface since all its faces are self-neighbors)
         let g = (128, 128, 128);
-        let v1 = Decomposition::new(g, 1);
+        let v8 = Decomposition::new(g, 8);
         let v64 = Decomposition::new(g, 64);
-        let vol_ratio = v1.local_cells(0) as f64 / v64.local_cells(0) as f64;
-        let surf_ratio = v1.surface_cells(0) as f64 / v64.surface_cells(0) as f64;
-        assert!((vol_ratio - 64.0).abs() < 1.0);
-        assert!((surf_ratio - 16.0).abs() < 1.0, "surface scales as n^(2/3): {surf_ratio}");
+        let vol_ratio = v8.local_cells(0) as f64 / v64.local_cells(0) as f64;
+        let surf_ratio = v8.surface_cells(0) as f64 / v64.surface_cells(0) as f64;
+        assert!((vol_ratio - 8.0).abs() < 1.0);
+        assert!((surf_ratio - 4.0).abs() < 1.0, "surface scales as n^(2/3): {surf_ratio}");
+    }
+
+    #[test]
+    fn single_rank_has_no_remote_surface() {
+        let d = Decomposition::new((8, 8, 8), 1);
+        assert_eq!(d.surface_cells(0), 0, "all six faces are self-neighbors");
+        assert_eq!(d.remote_faces(0), 0);
+    }
+
+    #[test]
+    fn one_cell_axes_get_no_ranks_and_no_self_faces() {
+        // a pancake deck: ranks must land on the extended axes only
+        let d = Decomposition::new((1, 8, 8), 4);
+        assert_eq!(d.dims, (1, 2, 2), "ranks avoid the 1-cell axis");
+        for r in 0..4 {
+            let (x, y, z) = d.local_extent(r);
+            assert_eq!((x, y, z), (1, 4, 4));
+            // x faces are periodic self-neighbors: excluded from surface
+            assert_eq!(d.surface_cells(r), 2 * x * z + 2 * x * y);
+            assert_eq!(d.remote_faces(r), 4);
+            let n = d.face_neighbors(r);
+            assert_eq!(n[0], r, "1-rank axis: -x neighbor is self");
+            assert_eq!(n[1], r, "1-rank axis: +x neighbor is self");
+        }
+        // a needle deck: every rank along the single long axis
+        let d = Decomposition::new((1, 1, 16), 4);
+        assert_eq!(d.dims, (1, 1, 4));
+        assert_eq!(d.local_extent(0), (1, 1, 4));
+        assert_eq!(d.surface_cells(0), 2, "only the two z faces are remote");
+        assert_eq!(d.remote_faces(0), 2);
+        // owner stays in range and matches the block layout on 1-cell axes
+        for z in 0..16 {
+            assert_eq!(d.owner(0, 0, z), z / 4);
+        }
+    }
+
+    #[test]
+    fn ranks_beyond_cells_leave_empty_ranks_unowned() {
+        // 7 ranks over 4 cells along z: no factorization fits, so the
+        // extent-blind fallback keeps (1,1,7) and three ranks are empty
+        let d = Decomposition::new((4, 4, 4), 7);
+        assert_eq!(d.dims, (1, 1, 7));
+        for r in 4..7 {
+            assert_eq!(d.local_cells(r), 0, "rank {r} owns nothing");
+            assert_eq!(d.surface_cells(r), 0, "empty rank exchanges nothing");
+        }
+        // owner never returns an empty rank
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let o = d.owner(x, y, z);
+                    assert!(d.local_cells(o) > 0, "cell ({x},{y},{z}) → empty rank {o}");
+                }
+            }
+        }
     }
 
     #[test]

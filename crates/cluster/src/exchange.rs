@@ -243,6 +243,35 @@ mod tests {
     }
 
     #[test]
+    fn max_out_of_rank_aggregates_across_species() {
+        // two species leave the same rank in the same step: the per-rank
+        // peak must count their *sum*, not the largest single species.
+        // 2 ranks over 8³ → dims (1,1,2): rank 0 owns z ∈ [0,4).
+        use vpic_core::{Grid, Species, Simulation};
+        let mut sim = Simulation::new(Grid::new(8, 8, 8));
+        let mut a = Species::new("a", -1.0, 1.0);
+        let mut b = Species::new("b", -1.0, 1.0);
+        // w = 0 ballistic probes at the z = 3 face, dz ≈ +1 and a large
+        // +z momentum: guaranteed to cross into rank 1's z = 4 layer
+        let grid = sim.grid.clone();
+        for x in 0..3 {
+            a.push_particle(0.0, 0.0, 0.99, grid.voxel(x + 1, 1, 3) as u32, 0.0, 0.0, 10.0, 0.0);
+        }
+        for x in 0..2 {
+            b.push_particle(0.0, 0.0, 0.99, grid.voxel(x + 1, 2, 3) as u32, 0.0, 0.0, 10.0, 0.0);
+        }
+        sim.add_species(a);
+        sim.add_species(b);
+        let mut cs = ClusterSim::new(sim, 2);
+        let (_, m) = cs.step();
+        assert_eq!(m.migrants, 5, "all five probes cross the rank face");
+        assert_eq!(
+            m.max_out_of_rank, 5,
+            "peak must aggregate species (3 + 2), not take the per-species max"
+        );
+    }
+
+    #[test]
     fn single_rank_never_migrates() {
         let mut cs = ClusterSim::new(sim(), 1);
         let (_, m) = cs.step();

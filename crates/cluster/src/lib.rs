@@ -15,16 +15,23 @@
 //! * [`systems`] — Sierra, Selene, and Tuolumne descriptions;
 //! * [`scaling`] — the Fig 10 generator: per-GPU push cost from
 //!   `memsim::push` (which supplies the cache-capacity superlinearity)
-//!   plus the communication model (which supplies the roll-off).
+//!   plus the communication model (which supplies the roll-off);
+//! * [`multirank`] — real multi-rank execution: N per-rank simulations
+//!   with halo grids, actual field halo exchange and particle migration,
+//!   interior/boundary overlap, and modeled network charges — the
+//!   executed counterpart the closed-form [`scaling`] curves are checked
+//!   against.
 
 pub mod ablation;
 pub mod decompose;
 pub mod exchange;
+pub mod multirank;
 pub mod network;
 pub mod scaling;
 pub mod systems;
 
 pub use decompose::Decomposition;
+pub use multirank::{MultiRankSim, RunTiming, StepTiming};
 pub use network::NetworkModel;
 pub use scaling::{strong_scaling, ScalePoint};
 pub use systems::System;

@@ -23,9 +23,21 @@ pub struct NetworkModel {
     pub staging_bw: f64,
 }
 
+/// Wire packet granularity, bytes. Payloads are charged rounded up to
+/// whole packets: a NIC moves cache-line-sized flits, so a 9-byte halo
+/// message costs a full packet, not nine bytes of bandwidth.
+pub const PACKET_BYTES: f64 = 64.0;
+
 impl NetworkModel {
-    /// Time to send one `bytes`-sized message.
+    /// `bytes` rounded up to whole [`PACKET_BYTES`] packets — the size
+    /// actually charged against the link.
+    pub fn packet_ceil(bytes: f64) -> f64 {
+        (bytes / PACKET_BYTES).ceil() * PACKET_BYTES
+    }
+
+    /// Time to send one `bytes`-sized message (packet-granular).
     pub fn message_time(&self, bytes: f64) -> f64 {
+        let bytes = Self::packet_ceil(bytes);
         let wire = self.latency + bytes / self.bandwidth;
         if self.gpu_aware {
             wire
@@ -35,13 +47,21 @@ impl NetworkModel {
     }
 
     /// Time for a neighbor exchange of `messages` concurrent messages of
-    /// `bytes` each. VPIC's sends are non-blocking, so concurrent
-    /// messages overlap on the wire; serialization shows up only through
-    /// the per-message software latency.
+    /// `bytes` each (packet-granular). VPIC's sends are non-blocking, so
+    /// concurrent messages overlap on the wire; serialization shows up
+    /// only through the per-message software latency.
+    ///
+    /// `messages` counts *directed* point-to-point sends — one per
+    /// ordered `(src, dst)` rank pair with `src != dst` — the same
+    /// convention the `cluster.messages` telemetry counter records, so
+    /// model charges and counters agree on rank-pair counting. Periodic
+    /// self-neighbor faces (see [`crate::Decomposition::remote_faces`])
+    /// are in-memory copies: never counted, never charged.
     pub fn exchange_time(&self, messages: usize, bytes: f64) -> f64 {
         if messages == 0 {
             return 0.0;
         }
+        let bytes = Self::packet_ceil(bytes);
         // α costs accumulate (CPU issues each message); payload streams
         // concurrently, bounded by the link
         let alpha = self.latency * messages as f64;
@@ -96,5 +116,18 @@ mod tests {
         let n = net(true);
         let t = n.exchange_time(6, 8.0);
         assert!((t - 6.0 * n.latency) / t < 0.01);
+    }
+
+    #[test]
+    fn payloads_are_charged_in_whole_packets() {
+        let n = net(true);
+        // every sub-packet payload costs exactly one packet
+        assert_eq!(n.message_time(1.0), n.message_time(PACKET_BYTES));
+        assert_eq!(n.exchange_time(3, 9.0), n.exchange_time(3, PACKET_BYTES));
+        // the next byte starts a second packet
+        assert!(n.message_time(PACKET_BYTES + 1.0) > n.message_time(PACKET_BYTES));
+        // exact multiples are unchanged by the rounding
+        assert_eq!(NetworkModel::packet_ceil(128.0), 128.0);
+        assert_eq!(NetworkModel::packet_ceil(0.0), 0.0);
     }
 }

@@ -115,23 +115,20 @@ pub fn strong_scaling(
         // field advance: E+B+J sweep, ~100 B touched per cell
         let field_time = local_cells as f64 * 100.0 / platform.dram_bw;
         // communication: ghost faces + migrated particles, one packed
-        // message per *distinct* neighbor rank (a single rank has only
-        // periodic self-neighbors and sends nothing)
-        let neighbors = decomp
-            .face_neighbors(0)
-            .iter()
-            .filter(|&&r| r != 0)
-            .count();
-        let comm_time = if neighbors == 0 {
+        // message per *remote* face (periodic self-neighbor faces are
+        // in-memory copies: a single rank sends nothing, and surface
+        // cells are counted per remote face to match)
+        let faces = decomp.remote_faces(0);
+        let comm_time = if faces == 0 {
             0.0
         } else {
-            let face_cells = decomp.surface_cells(0) as f64 / 6.0;
+            let face_cells = decomp.surface_cells(0) as f64 / faces as f64;
             let boundary_particles =
                 decomp.surface_cells(0) as f64 / local_cells as f64 * local_particles as f64;
             let migrants = boundary_particles * BOUNDARY_CROSS_FRACTION;
             let bytes_per_msg = face_cells * GHOST_BYTES_PER_CELL
-                + migrants * PARTICLE_BYTES as f64 / 6.0;
-            system.network.exchange_time(neighbors, bytes_per_msg)
+                + migrants * PARTICLE_BYTES as f64 / faces as f64;
+            system.network.exchange_time(faces, bytes_per_msg)
         };
         // VPIC's sends are non-blocking and overlapped with the push;
         // only the non-overlapped remainder extends the step

@@ -14,7 +14,7 @@
 
 use crate::field::FieldArray;
 use crate::grid::{Grid, StencilSide};
-use pk::atomic::{ScatterBuf, ScatterMode};
+use pk::atomic::{FixedScatterBuf, ScatterMode};
 use pk::{ExecSpace, SendPtr, Serial};
 use vsimd::Strategy;
 
@@ -22,9 +22,15 @@ use vsimd::Strategy;
 pub const SLOTS: usize = 12;
 
 /// The per-cell current accumulator (atomic, shared across push workers).
+///
+/// Slots accumulate in *fixed-point* (`i64`, quantum 2⁻⁴⁰ — see
+/// [`FixedScatterBuf`]): integer adds are exactly associative, so slot
+/// totals are bit-identical for any worker count, scatter mode, deposit
+/// order, or partition of the particles — the property the multi-rank
+/// halo merge (DESIGN §12) is built on.
 #[derive(Debug)]
 pub struct Accumulator {
-    buf: ScatterBuf,
+    buf: FixedScatterBuf,
     cells: usize,
     /// Reused `collect` target: sized on the first unload, alloc-free
     /// afterwards.
@@ -35,7 +41,7 @@ impl Accumulator {
     /// A zeroed accumulator for `cells` cells and up to `workers`
     /// concurrent writers in the given scatter mode.
     pub fn new(cells: usize, workers: usize, mode: ScatterMode) -> Self {
-        Self { buf: ScatterBuf::new(cells * SLOTS, workers, mode), cells, scratch: Vec::new() }
+        Self { buf: FixedScatterBuf::new(cells * SLOTS, workers, mode), cells, scratch: Vec::new() }
     }
 
     /// Number of cells covered.
@@ -80,6 +86,34 @@ impl Accumulator {
     /// Raw slot value (tests/diagnostics).
     pub fn slot(&self, cell: usize, slot: usize) -> f64 {
         self.buf.get(cell * SLOTS + slot)
+    }
+
+    /// One cell's twelve slot totals as raw fixed-point integers — the
+    /// unit the cluster halo exchange ships between ranks.
+    pub fn cell_raw(&self, cell: usize) -> [i64; SLOTS] {
+        let base = cell * SLOTS;
+        std::array::from_fn(|s| self.buf.get_raw(base + s))
+    }
+
+    /// Wrapping-add raw fixed-point slot values into a cell (halo
+    /// *reduce*: a neighbor's halo-shell deposits merged into the owner).
+    pub fn merge_cell_raw(&self, cell: usize, raw: &[i64; SLOTS]) {
+        let base = cell * SLOTS;
+        for (s, &r) in raw.iter().enumerate() {
+            if r != 0 {
+                self.buf.add_raw(0, base + s, r);
+            }
+        }
+    }
+
+    /// Overwrite a cell's slot totals with the owner's merged values
+    /// (halo *fill*: boundary-cell totals broadcast back into neighbors'
+    /// halo shells so their minus-side unload gathers see merged data).
+    pub fn set_cell_raw(&self, cell: usize, raw: &[i64; SLOTS]) {
+        let base = cell * SLOTS;
+        for (s, &r) in raw.iter().enumerate() {
+            self.buf.set_raw(base + s, r);
+        }
     }
 
     /// Scratch capacity (no-alloc-after-warmup assertions).

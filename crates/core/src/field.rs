@@ -257,6 +257,40 @@ impl FieldArray {
         });
     }
 
+    /// Advance B by `frac·dt` over the box `xs × ys × zs` only (cell
+    /// coordinates, end-exclusive).
+    ///
+    /// Per-cell arithmetic is the wrapped op tree of
+    /// [`FieldArray::advance_b_ref`] — the same tree every strategy's
+    /// boundary path walks — so sweeping a disjoint partition of the grid
+    /// box-by-box produces bit-identical fields to one full sweep. The
+    /// multi-rank driver uses this to advance the interior while boundary
+    /// shells wait on in-flight halo exchanges (DESIGN §12).
+    pub fn advance_b_box(
+        &mut self,
+        xs: Range<usize>,
+        ys: Range<usize>,
+        zs: Range<usize>,
+        frac: f32,
+    ) {
+        let Self { grid: g, ex, ey, ez, bx, by, bz, .. } = self;
+        let dt = g.dt * frac;
+        let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
+        for iz in zs {
+            for iy in ys.clone() {
+                for ix in xs.clone() {
+                    let v = g.voxel(ix, iy, iz);
+                    let xp = g.neighbor(v, (1, 0, 0));
+                    let yp = g.neighbor(v, (0, 1, 0));
+                    let zp = g.neighbor(v, (0, 0, 1));
+                    bx[v] -= dt * ((ez[yp] - ez[v]) * rdy - (ey[zp] - ey[v]) * rdz);
+                    by[v] -= dt * ((ex[zp] - ex[v]) * rdz - (ez[xp] - ez[v]) * rdx);
+                    bz[v] -= dt * ((ey[xp] - ey[v]) * rdx - (ex[yp] - ex[v]) * rdy);
+                }
+            }
+        }
+    }
+
     /// Serial reference for [`FieldArray::advance_e`] (see
     /// [`FieldArray::advance_b_ref`]).
     pub fn advance_e_ref(&mut self) {
@@ -609,6 +643,27 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn box_partition_matches_full_sweep_bitwise() {
+        // interior box + the three plus-face shells = the multi-rank
+        // overlap split; together they must reproduce the full sweep
+        for (nx, ny, nz) in [(6, 5, 4), (1, 4, 4), (4, 1, 1), (1, 1, 1)] {
+            let g = Grid::new(nx, ny, nz);
+            let mut full = scrambled(&g);
+            full.advance_b(0.5);
+            let mut boxed = scrambled(&g);
+            boxed.advance_b_box(0..nx.saturating_sub(1), 0..ny.saturating_sub(1), 0..nz.saturating_sub(1), 0.5);
+            boxed.advance_b_box(nx - 1..nx, 0..ny, 0..nz, 0.5);
+            boxed.advance_b_box(0..nx - 1, ny - 1..ny, 0..nz, 0.5);
+            boxed.advance_b_box(0..nx - 1, 0..ny - 1, nz - 1..nz, 0.5);
+            for v in 0..g.cells() {
+                assert_eq!(full.bx[v].to_bits(), boxed.bx[v].to_bits(), "bx[{v}] ({nx},{ny},{nz})");
+                assert_eq!(full.by[v].to_bits(), boxed.by[v].to_bits(), "by[{v}] ({nx},{ny},{nz})");
+                assert_eq!(full.bz[v].to_bits(), boxed.bz[v].to_bits(), "bz[{v}] ({nx},{ny},{nz})");
             }
         }
     }

@@ -44,5 +44,5 @@ pub use field::FieldArray;
 pub use grid::{Grid, StencilSide};
 pub use interp::{load_interpolators, load_interpolators_into, Interpolator, InterpolatorArray};
 pub use sim::Simulation;
-pub use species::Species;
+pub use species::{ParticleRecord, Species};
 pub use tune::TuneDriver;

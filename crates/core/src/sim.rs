@@ -350,6 +350,84 @@ impl Simulation {
         self.scatter_workers = workers;
         self.acc = Accumulator::new(self.grid.cells(), workers, mode);
     }
+
+    // ── Multi-rank stepping seams (DESIGN §12) ─────────────────────────
+    //
+    // A decomposed cluster step interleaves halo exchange with the
+    // phases below, so the monolithic `step_inner` is split at its
+    // natural seams: push (fills the private accumulator), current
+    // unload, and the step-counter bump. Field advances are driven
+    // piecewise by the caller through the public `fields`; the
+    // accumulator's raw fixed-point slots are exposed so rank-boundary
+    // partial deposits can be summed exactly (integer adds commute, so
+    // the merge is order- and partition-independent).
+
+    /// First phase of a decomposed step: refresh interpolators from the
+    /// current fields, clear J, reset the accumulator, and push every
+    /// species. Identical arithmetic to the first half of
+    /// [`Simulation::step`] with sorting disabled (the cluster driver
+    /// owns sort and exchange policy). Runs on the calling thread.
+    pub fn begin_step(&mut self) -> PushStats {
+        let space = &Serial;
+        let mut interps = std::mem::take(&mut self.interp);
+        {
+            let _s = telemetry::span("sim.interpolate");
+            load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
+        }
+        let mut stats = PushStats::default();
+        {
+            let _s = telemetry::span("sim.push").arg("species", self.species.len());
+            self.fields.clear_j_on(space);
+            self.acc.reset();
+            for s in &mut self.species {
+                let st = push_species_on(space, self.strategy, &self.grid, s, &interps, &self.acc);
+                if st.crossings > 0 {
+                    s.mark_unsorted();
+                }
+                stats.pushed += st.pushed;
+                stats.crossings += st.crossings;
+            }
+        }
+        self.interp = interps;
+        stats
+    }
+
+    /// Second phase of a decomposed step: fold the (halo-merged)
+    /// accumulator into J. Must run after every rank-boundary partial
+    /// has been merged via [`Simulation::acc_set_cell_raw`].
+    pub fn unload_currents(&mut self) {
+        let _s = telemetry::span("sim.accumulate");
+        self.acc.unload_on(&Serial, self.strategy, &mut self.fields);
+    }
+
+    /// Raw fixed-point accumulator slots for `cell` — the unit that
+    /// ships between ranks during the current halo exchange.
+    pub fn acc_cell_raw(&self, cell: usize) -> [i64; crate::accumulate::SLOTS] {
+        self.acc.cell_raw(cell)
+    }
+
+    /// Wrapping-add `raw` into `cell`'s accumulator slots (halo reduce).
+    pub fn acc_merge_cell_raw(&self, cell: usize, raw: &[i64; crate::accumulate::SLOTS]) {
+        self.acc.merge_cell_raw(cell, raw)
+    }
+
+    /// Overwrite `cell`'s accumulator slots with `raw` (halo fill).
+    pub fn acc_set_cell_raw(&self, cell: usize, raw: &[i64; crate::accumulate::SLOTS]) {
+        self.acc.set_cell_raw(cell, raw)
+    }
+
+    /// Final phase of a decomposed step: advance the step counter (the
+    /// caller has driven the field advance piecewise through `fields`).
+    pub fn finish_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Set the step counter directly — the multi-rank gather stamps the
+    /// assembled global snapshot with the cluster step so `time()` and
+    /// energy snapshots line up with the reference run.
+    pub fn set_step_count(&mut self, n: u64) {
+        self.step = n;
+    }
 }
 
 #[cfg(test)]

@@ -266,6 +266,160 @@ impl ScatterBuf {
     }
 }
 
+/// Fixed-point quantum for [`FixedScatterBuf`]: values are stored as
+/// `round(val × 2⁴⁰)` in an `i64`. Integer (wrapping) addition is exactly
+/// associative and commutative, so accumulated totals are bit-identical
+/// for *any* ordering or partitioning of the contributions — across
+/// worker counts, scatter modes, and (in the cluster layer) rank
+/// decompositions. The quantum, 2⁻⁴⁰ ≈ 9.1e-13, sits far below every
+/// physics tolerance in the repo, and current-deposition slot totals are
+/// bounded well inside ±2²³ so the 63-bit range never saturates.
+pub const FIXED_SCATTER_SCALE: f64 = (1u64 << 40) as f64;
+
+/// A scatter-accumulation buffer over fixed-point `i64` accumulators.
+///
+/// Same shape as [`ScatterBuf`] (shared-atomic or per-worker-duplicated
+/// replicas, selected by [`ScatterMode`]) but order-independent: every
+/// contribution is quantized to a multiple of `2⁻⁴⁰` and summed with
+/// integer adds, so `collect` returns the same bits no matter how the
+/// contributions were interleaved or partitioned. Current deposition uses
+/// this so multi-rank halo merges can be bit-identical to the single-rank
+/// run.
+#[derive(Debug)]
+pub struct FixedScatterBuf {
+    mode: ScatterMode,
+    len: usize,
+    shared: Vec<std::sync::atomic::AtomicI64>,
+    replicas: Vec<Vec<std::sync::atomic::AtomicI64>>,
+}
+
+use std::sync::atomic::AtomicI64;
+
+fn zeros_i64(n: usize) -> Vec<AtomicI64> {
+    (0..n).map(|_| AtomicI64::new(0)).collect()
+}
+
+impl FixedScatterBuf {
+    /// Create a zeroed buffer of `len` accumulators for up to `workers`
+    /// concurrent writers.
+    pub fn new(len: usize, workers: usize, mode: ScatterMode) -> Self {
+        let replicas = match mode {
+            ScatterMode::Atomic => Vec::new(),
+            ScatterMode::Duplicated => (0..workers.max(1)).map(|_| zeros_i64(len)).collect(),
+        };
+        Self { mode, len, shared: zeros_i64(len), replicas }
+    }
+
+    /// The contention strategy in use.
+    pub fn mode(&self) -> ScatterMode {
+        self.mode
+    }
+
+    /// Number of accumulators.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Quantize a contribution to the fixed-point grid.
+    #[inline]
+    pub fn quantize(val: f64) -> i64 {
+        (val * FIXED_SCATTER_SCALE).round() as i64
+    }
+
+    /// Dequantize an accumulated total back to `f64` (exact: a power-of-
+    /// two scale only changes the exponent).
+    #[inline]
+    pub fn dequantize(raw: i64) -> f64 {
+        raw as f64 / FIXED_SCATTER_SCALE
+    }
+
+    /// Accumulate `val` into slot `i` on behalf of `worker`.
+    #[inline]
+    pub fn add(&self, worker: usize, i: usize, val: f64) {
+        self.add_raw(worker, i, Self::quantize(val));
+    }
+
+    /// Accumulate an already-quantized contribution (used by the halo
+    /// merge, which exchanges raw fixed-point values between ranks).
+    #[inline]
+    pub fn add_raw(&self, worker: usize, i: usize, raw: i64) {
+        let cell = match self.mode {
+            ScatterMode::Atomic => &self.shared[i],
+            ScatterMode::Duplicated => &self.replicas[worker % self.replicas.len()][i],
+        };
+        cell.fetch_add(raw, Ordering::Relaxed);
+    }
+
+    /// Read one accumulator's raw fixed-point total (shared value plus
+    /// all replica contributions, summed with wrapping adds).
+    #[inline]
+    pub fn get_raw(&self, i: usize) -> i64 {
+        match self.mode {
+            ScatterMode::Atomic => self.shared[i].load(Ordering::Relaxed),
+            ScatterMode::Duplicated => self
+                .replicas
+                .iter()
+                .fold(0i64, |acc, r| acc.wrapping_add(r[i].load(Ordering::Relaxed))),
+        }
+    }
+
+    /// Read one accumulator as `f64`.
+    pub fn get(&self, i: usize) -> f64 {
+        Self::dequantize(self.get_raw(i))
+    }
+
+    /// Overwrite slot `i`'s total with `raw` (clears replicas; the value
+    /// lands in the shared buffer — or replica 0 in duplicated mode).
+    /// Used by the cluster halo fill, which replaces boundary-slot totals
+    /// with the owner's merged value.
+    pub fn set_raw(&self, i: usize, raw: i64) {
+        match self.mode {
+            ScatterMode::Atomic => self.shared[i].store(raw, Ordering::Relaxed),
+            ScatterMode::Duplicated => {
+                self.replicas[0][i].store(raw, Ordering::Relaxed);
+                for r in &self.replicas[1..] {
+                    r[i].store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Reduce all contributions into caller-owned scratch as `f64`
+    /// (cleared and refilled in place; no allocation once capacity has
+    /// warmed up, matching [`ScatterBuf::collect_into`]).
+    pub fn collect_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.len, 0.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i);
+        }
+    }
+
+    /// Reduce all contributions into a plain vector.
+    pub fn collect(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.collect_into(&mut out);
+        out
+    }
+
+    /// Zero every accumulator (shared and replicas).
+    pub fn reset(&self) {
+        for c in &self.shared {
+            c.store(0, Ordering::Relaxed);
+        }
+        for r in &self.replicas {
+            for c in r {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +502,68 @@ mod tests {
             assert_eq!(fresh, scratch);
             assert_eq!(scratch.capacity(), cap, "collect_into reallocated");
         }
+    }
+
+    #[test]
+    fn fixed_scatter_is_order_independent() {
+        // Same multiset of contributions, three different partitionings /
+        // orderings / modes — identical bits out.
+        let vals: Vec<f64> = (0..257).map(|i| (i as f64 - 128.0) * 1.7e-3).collect();
+        let sum_of = |chunks: &[&[f64]], workers: usize, mode: ScatterMode| -> i64 {
+            let buf = FixedScatterBuf::new(1, workers, mode);
+            for (w, ch) in chunks.iter().enumerate() {
+                for &v in *ch {
+                    buf.add(w, 0, v);
+                }
+            }
+            buf.get_raw(0)
+        };
+        let whole = sum_of(&[&vals], 1, ScatterMode::Atomic);
+        let (lo, hi) = vals.split_at(100);
+        assert_eq!(whole, sum_of(&[hi, lo], 2, ScatterMode::Duplicated));
+        let rev: Vec<f64> = vals.iter().rev().copied().collect();
+        assert_eq!(whole, sum_of(&[&rev], 3, ScatterMode::Atomic));
+    }
+
+    #[test]
+    fn fixed_scatter_quantum_is_small_and_exact() {
+        let buf = FixedScatterBuf::new(2, 1, ScatterMode::Atomic);
+        buf.add(0, 0, 0.125); // exactly representable on the 2^-40 grid
+        assert_eq!(buf.get(0), 0.125);
+        buf.add(0, 1, 1.0e-3);
+        assert!((buf.get(1) - 1.0e-3).abs() < 1.0 / FIXED_SCATTER_SCALE);
+        assert_eq!(
+            FixedScatterBuf::dequantize(FixedScatterBuf::quantize(0.75)),
+            0.75
+        );
+    }
+
+    #[test]
+    fn fixed_scatter_raw_roundtrip_and_set() {
+        for mode in [ScatterMode::Atomic, ScatterMode::Duplicated] {
+            let buf = FixedScatterBuf::new(4, 3, mode);
+            buf.add(0, 2, 1.5);
+            buf.add(2, 2, -0.25);
+            let raw = buf.get_raw(2);
+            assert_eq!(raw, FixedScatterBuf::quantize(1.25));
+            buf.set_raw(2, FixedScatterBuf::quantize(9.0));
+            assert_eq!(buf.get(2), 9.0, "mode {mode:?}");
+            buf.add_raw(1, 2, FixedScatterBuf::quantize(1.0));
+            assert_eq!(buf.get(2), 10.0, "mode {mode:?}");
+            buf.reset();
+            assert!(buf.collect().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn fixed_scatter_under_contention_loses_nothing() {
+        let threads = Threads::new(4);
+        let buf = FixedScatterBuf::new(8, 4, ScatterMode::Atomic);
+        threads.parallel_for(10_000usize, |i| {
+            buf.add(i % 4, i % 8, 0.5);
+        });
+        let total: f64 = buf.collect().iter().sum();
+        assert_eq!(total, 5_000.0);
     }
 
     #[test]

@@ -204,6 +204,19 @@ pub fn span_dyn(name: impl Into<Cow<'static, str>>) -> Span {
     }
 }
 
+/// A span attributed to virtual rank `rank`: per-rank phase timing in a
+/// multi-rank lockstep driver (`cluster::multirank`). Equivalent to
+/// [`span`] with a `rank` argument, spelled as a helper so every rank
+/// phase is tagged the same way and profiles can group by it.
+#[inline]
+pub fn rank_span(name: &'static str, rank: usize) -> Span {
+    if !enabled() {
+        Span(None)
+    } else {
+        begin(Cow::Borrowed(name), "span", None).arg("rank", rank)
+    }
+}
+
 /// A span pinned to worker lane `lane`'s track: per-lane busy time inside
 /// a pool dispatch. Not pushed on the label stack (it *is* the leaf).
 #[inline]
