@@ -10,7 +10,7 @@
 //! push cannot beat serial — the dispatch-latency ratio is then the only
 //! meaningful signal, and the push rows document the floor honestly.
 
-use crate::timing::{black_box, median_time_named};
+use crate::timing::{black_box, measure_named, median_time_named, TimingStats};
 use pk::atomic::ScatterMode;
 use pk::{ExecSpace, Serial, Threads, WorkerPool};
 use serde::Serialize;
@@ -28,6 +28,12 @@ pub struct DispatchRow {
     pub lanes: u64,
     /// Median latency of one empty dispatch, nanoseconds.
     pub empty_dispatch_ns: f64,
+    /// Fastest rep's per-dispatch latency, nanoseconds.
+    pub min_ns: f64,
+    /// p95 rep's per-dispatch latency, nanoseconds.
+    pub p95_ns: f64,
+    /// Slowest rep's per-dispatch latency, nanoseconds.
+    pub max_ns: f64,
 }
 
 /// One push-throughput measurement.
@@ -56,22 +62,46 @@ pub struct Report {
     pub push_speedup_threads4_over_serial: f64,
 }
 
-fn pool_dispatch_ns(lanes: usize) -> f64 {
+/// Per-dispatch latency distribution, nanoseconds.
+struct DispatchNs {
+    median: f64,
+    min: f64,
+    p95: f64,
+    max: f64,
+}
+
+/// Scale per-rep seconds into per-dispatch nanoseconds.
+fn per_dispatch_ns(stats: TimingStats, iters: u32) -> DispatchNs {
+    let scale = 1e9 / iters as f64;
+    DispatchNs {
+        median: stats.median_s * scale,
+        min: stats.min_s * scale,
+        p95: stats.p95_s * scale,
+        max: stats.max_s * scale,
+    }
+}
+
+fn pool_dispatch_stats(lanes: usize) -> DispatchNs {
     let pool = WorkerPool::new(lanes);
     let iters = 200u32;
-    median_time_named("bench.dispatch.pool", 2, 10, || {
+    let stats = measure_named("bench.dispatch.pool", 2, 10, || {
         for _ in 0..iters {
             pool.run(&|lane| {
                 black_box(lane);
             });
         }
-    }) / iters as f64
-        * 1e9
+    });
+    per_dispatch_ns(stats, iters)
 }
 
-fn spawn_dispatch_ns(lanes: usize) -> f64 {
+#[cfg(test)]
+fn pool_dispatch_ns(lanes: usize) -> f64 {
+    pool_dispatch_stats(lanes).median
+}
+
+fn spawn_dispatch_stats(lanes: usize) -> DispatchNs {
     let iters = 50u32;
-    median_time_named("bench.dispatch.spawn", 1, 10, || {
+    let stats = measure_named("bench.dispatch.spawn", 1, 10, || {
         for _ in 0..iters {
             std::thread::scope(|s| {
                 for _ in 1..lanes {
@@ -79,8 +109,8 @@ fn spawn_dispatch_ns(lanes: usize) -> f64 {
                 }
             });
         }
-    }) / iters as f64
-        * 1e9
+    });
+    per_dispatch_ns(stats, iters)
 }
 
 fn push_rate<S: ExecSpace>(space: &S, workers: usize, mode: ScatterMode) -> f64 {
@@ -112,21 +142,30 @@ pub fn run() -> Report {
     let mut spawn4 = f64::NAN;
     for lanes in [1usize, 2, 4] {
         for (backend, ns) in [
-            ("pool", pool_dispatch_ns(lanes)),
-            ("spawn", spawn_dispatch_ns(lanes)),
+            ("pool", pool_dispatch_stats(lanes)),
+            ("spawn", spawn_dispatch_stats(lanes)),
         ] {
-            println!("{backend:<10} {lanes:>6} {:>18}", crate::fmt_time(ns / 1e9));
+            println!(
+                "{backend:<10} {lanes:>6} {:>18}  (min {} / p95 {} / max {})",
+                crate::fmt_time(ns.median / 1e9),
+                crate::fmt_time(ns.min / 1e9),
+                crate::fmt_time(ns.p95 / 1e9),
+                crate::fmt_time(ns.max / 1e9),
+            );
             if lanes == 4 {
                 if backend == "pool" {
-                    pool4 = ns;
+                    pool4 = ns.median;
                 } else {
-                    spawn4 = ns;
+                    spawn4 = ns.median;
                 }
             }
             dispatch.push(DispatchRow {
                 backend: backend.to_string(),
                 lanes: lanes as u64,
-                empty_dispatch_ns: ns,
+                empty_dispatch_ns: ns.median,
+                min_ns: ns.min,
+                p95_ns: ns.p95,
+                max_ns: ns.max,
             });
         }
     }
@@ -209,6 +248,11 @@ mod tests {
         }
         let r = run();
         assert_eq!(r.dispatch.len(), 6);
+        for row in &r.dispatch {
+            assert!(row.min_ns <= row.empty_dispatch_ns, "{}: min > median", row.backend);
+            assert!(row.empty_dispatch_ns <= row.p95_ns, "{}: median > p95", row.backend);
+            assert!(row.p95_ns <= row.max_ns, "{}: p95 > max", row.backend);
+        }
         assert_eq!(r.push.len(), 3);
         assert!(r.pool_speedup_over_spawn_4_lanes > 0.0);
         assert!(r.push_speedup_threads4_over_serial > 0.0);

@@ -25,6 +25,8 @@ pub mod fig8;
 pub mod fig9;
 pub mod push;
 pub mod ranks;
+pub mod regress;
+pub mod suite;
 pub mod table1;
 pub mod timing;
 pub mod tune;

@@ -27,6 +27,13 @@
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
 //!
+//!   suite             continuous perf-regression harness: run the fast
+//!                     measured targets with telemetry on, fold wall
+//!                     times + streaming histograms into results/BENCH.json
+//!   regress <a> <b>   diff two BENCH.json files; exit nonzero on >15%
+//!                     median regressions (--warn reports without failing)
+//!   regress-selftest  prove the comparator flags an injected 20% slowdown
+//!
 //! options:
 //!   --profile[=path]  enable telemetry; print the span summary table,
 //!                     write a Chrome/Perfetto trace to `path` (default
@@ -67,6 +74,7 @@ fn run_target(name: &str) -> bool {
         "push" => bench::save_json("push", &bench::push::run()),
         "field" => bench::save_json("field", &bench::field::run()),
         "tune" => bench::save_json("tune", &bench::tune::run()),
+        "suite" => bench::save_json("BENCH", &bench::suite::run()),
         other => {
             eprintln!("unknown target: {other}");
             return false;
@@ -88,22 +96,54 @@ fn run_target(name: &str) -> bool {
     }
 }
 
-/// Print the span summary and write the Chrome-trace + JSON exports.
+/// Print the span summary + metrics tables and write the Chrome-trace,
+/// JSON, and Prometheus exports.
 fn write_profile(trace_path: &str) -> std::io::Result<()> {
     let snap = telemetry::snapshot();
     let stats = telemetry::aggregate(&snap.events);
     print!("{}", telemetry::format_summary(&stats));
+    print!("{}", telemetry::format_metrics(&snap.metrics));
     std::fs::write(trace_path, telemetry::chrome_trace(&snap.events))?;
     let dir = bench::results_dir();
     std::fs::create_dir_all(&dir)?;
     let summary_path = dir.join("telemetry.json");
     std::fs::write(&summary_path, telemetry::summary_json(&snap))?;
+    let prom_path = dir.join("metrics.prom");
+    std::fs::write(&prom_path, telemetry::prometheus_text(&snap))?;
     println!(
-        "profile: {} span(s) → {trace_path} (load in ui.perfetto.dev) + {}",
+        "profile: {} span(s) → {trace_path} (load in ui.perfetto.dev) + {} + {}",
         snap.events.len(),
-        summary_path.display()
+        summary_path.display(),
+        prom_path.display()
     );
     Ok(())
+}
+
+/// `repro regress <base> <new> [--warn]`: diff two BENCH.json files.
+fn run_regress(args: &[String]) -> ExitCode {
+    let warn_only = args.iter().any(|a| a == "--warn");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [base, new] = paths.as_slice() else {
+        eprintln!("usage: repro regress <base BENCH.json> <new BENCH.json> [--warn]");
+        return ExitCode::FAILURE;
+    };
+    match bench::regress::compare_files(base, new) {
+        Ok(cmp) => {
+            print!("{}", cmp.render());
+            if cmp.regressions().is_empty() {
+                ExitCode::SUCCESS
+            } else if warn_only {
+                println!("(--warn: regressions reported but not fatal)");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("regress: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -118,9 +158,26 @@ fn main() -> ExitCode {
             targets.push(arg);
         }
     }
+    if targets.first().map(String::as_str) == Some("regress") {
+        return run_regress(&targets[1..]);
+    }
+    if targets.first().map(String::as_str) == Some("regress-selftest") {
+        return match bench::regress::self_test() {
+            Ok(()) => {
+                println!("regress self-test: injected 20% slowdown flagged, identical inputs pass");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("regress self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if targets.is_empty() || targets.iter().any(|a| a == "-h" || a == "--help") {
         println!(
-            "usage: repro [--profile[=path]] <target>...   targets: {} all",
+            "usage: repro [--profile[=path]] <target>...   targets: {} all suite\n\
+             \x20      repro regress <base BENCH.json> <new BENCH.json> [--warn]\n\
+             \x20      repro regress-selftest",
             TARGETS.join(" ")
         );
         return ExitCode::SUCCESS;

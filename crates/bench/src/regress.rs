@@ -1,0 +1,567 @@
+//! `repro -- regress <base> <new>`: diff two `BENCH.json` files and fail
+//! on median regressions.
+//!
+//! The comparator reads per-target `wall_s` plus every histogram p50
+//! present in *both* files and flags any metric that slowed down by more
+//! than the threshold (default 15%, the paper-harness noise floor on a
+//! quiet host). Targets or histograms present on only one side are
+//! reported but never fatal — the suite's composition is allowed to
+//! evolve without invalidating old baselines.
+//!
+//! The offline `serde_json` shim only *writes* JSON, so this module
+//! carries its own small recursive-descent parser producing the shim's
+//! [`serde::Value`] tree. It handles exactly the JSON the harness emits
+//! (objects, arrays, strings with `\"`-style escapes, numbers, bools,
+//! null) and rejects everything else loudly.
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Median-regression threshold: ratios above `1.0 + REGRESS_THRESHOLD`
+/// fail the gate.
+pub const REGRESS_THRESHOLD: f64 = 0.15;
+
+// ─────────────────────────────── mini JSON parser ──────────────────────────
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.eat_lit("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected '{}'", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(self.err(&format!("bad escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // multi-byte UTF-8 passes through unchanged
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?,
+                    );
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>().map(Value::Float).map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::Int).map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(|_| self.err("bad number"))
+        }
+    }
+}
+
+/// Parse a JSON document into the serde shim's [`Value`] tree.
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+// ─────────────────────────────── value helpers ─────────────────────────────
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_seq(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Seq(items) => Some(items),
+        _ => None,
+    }
+}
+
+// ─────────────────────────────── comparison ────────────────────────────────
+
+/// One metric compared across the two files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// `"<target>/wall_s"` or `"<target>/<hist>.p50"`.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// New value.
+    pub new: f64,
+    /// `new / base` (∞ when base is zero and new is not).
+    pub ratio: f64,
+    /// Regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// The comparator's full verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Every metric found in both files, in report order.
+    pub diffs: Vec<MetricDiff>,
+    /// Notes: skipped targets, host mismatches, schema drift.
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// Metrics that regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Human-readable report, deterministic for fixed inputs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>8}",
+            "metric", "base", "new", "ratio"
+        );
+        for d in &self.diffs {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12.6} {:>12.6} {:>7.3}x{}",
+                d.metric,
+                d.base,
+                d.new,
+                d.ratio,
+                if d.regressed { "  << REGRESSION" } else { "" }
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        let n = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{} metric(s) compared, {n} regression(s) past {:.0}%",
+            self.diffs.len(),
+            REGRESS_THRESHOLD * 100.0
+        );
+        out
+    }
+}
+
+fn diff_metric(diffs: &mut Vec<MetricDiff>, metric: String, base: f64, new: f64) {
+    // sub-microsecond medians are dominated by timer noise; never gate
+    // on them
+    let ratio = if base > 0.0 { new / base } else if new > 0.0 { f64::INFINITY } else { 1.0 };
+    let measurable = base > 1e-7 || new > 1e-7;
+    diffs.push(MetricDiff {
+        metric,
+        base,
+        new,
+        ratio,
+        regressed: measurable && ratio > 1.0 + REGRESS_THRESHOLD,
+    });
+}
+
+/// Compare two parsed `BENCH.json` documents.
+pub fn compare_values(base: &Value, new: &Value) -> Result<Comparison, String> {
+    for (side, v) in [("base", base), ("new", new)] {
+        let schema = get(v, "bench_schema").and_then(as_f64).unwrap_or(0.0);
+        if schema != crate::suite::BENCH_SCHEMA as f64 {
+            return Err(format!(
+                "{side} file has bench_schema {schema}, expected {}",
+                crate::suite::BENCH_SCHEMA
+            ));
+        }
+    }
+    let mut cmp = Comparison::default();
+    let host_of = |v: &Value| {
+        get(v, "host").map(|h| {
+            (
+                get(h, "os").and_then(as_str).unwrap_or("?").to_string(),
+                get(h, "arch").and_then(as_str).unwrap_or("?").to_string(),
+                get(h, "hardware_threads").and_then(as_f64).unwrap_or(0.0) as u64,
+            )
+        })
+    };
+    if host_of(base) != host_of(new) {
+        cmp.notes.push(
+            "host descriptors differ — medians are not directly comparable".to_string(),
+        );
+    }
+
+    fn targets(v: &Value) -> Vec<&Value> {
+        get(v, "targets").and_then(as_seq).map(|s| s.iter().collect()).unwrap_or_default()
+    }
+    let name_of = |t: &Value| get(t, "name").and_then(as_str).unwrap_or("?").to_string();
+    let new_targets = targets(new);
+
+    for bt in targets(base) {
+        let name = name_of(bt);
+        let Some(nt) = new_targets.iter().find(|t| name_of(t) == name) else {
+            cmp.notes.push(format!("target '{name}' missing from new file — skipped"));
+            continue;
+        };
+        if let (Some(b), Some(n)) = (
+            get(bt, "wall_s").and_then(as_f64),
+            get(nt, "wall_s").and_then(as_f64),
+        ) {
+            diff_metric(&mut cmp.diffs, format!("{name}/wall_s"), b, n);
+        }
+        let hists = |t: &Value| -> Vec<(String, f64)> {
+            get(t, "hists")
+                .and_then(as_seq)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|r| {
+                            Some((
+                                get(r, "name").and_then(as_str)?.to_string(),
+                                get(r, "p50").and_then(as_f64)?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let new_hists = hists(nt);
+        for (hname, bp50) in hists(bt) {
+            if let Some((_, np50)) = new_hists.iter().find(|(n, _)| *n == hname) {
+                diff_metric(&mut cmp.diffs, format!("{name}/{hname}.p50"), bp50, *np50);
+            }
+        }
+    }
+    if cmp.diffs.is_empty() {
+        return Err("no comparable metrics between the two files".to_string());
+    }
+    Ok(cmp)
+}
+
+/// Compare two `BENCH.json` files on disk.
+pub fn compare_files(base_path: &str, new_path: &str) -> Result<Comparison, String> {
+    let read = |p: &str| {
+        std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read {p}: {e}"))
+            .and_then(|t| parse_json(&t).map_err(|e| format!("{p}: {e}")))
+    };
+    compare_values(&read(base_path)?, &read(new_path)?)
+}
+
+// ─────────────────────────────── self-test ─────────────────────────────────
+
+fn synthetic_report(scale: f64) -> String {
+    let mk = |wall: f64, p50: f64| {
+        format!(
+            "{{\"name\": \"t\", \"wall_s\": {wall}, \"hists\": [{{\"name\": \"sim.step\", \
+             \"count\": 10, \"mean\": {p50}, \"p50\": {p50}, \"p95\": {p50}, \"p99\": {p50}}}]}}"
+        )
+    };
+    format!(
+        "{{\"bench_schema\": 1, \"git_rev\": \"selftest\", \"host\": {{\"os\": \"linux\", \
+         \"arch\": \"x86_64\", \"hardware_threads\": 1}}, \"targets\": [{}]}}",
+        mk(2.0 * scale, (1000.0 * scale).round())
+    )
+}
+
+/// Prove the comparator catches what it claims to: identical inputs pass,
+/// an injected 20% slowdown fails. Returns `Err` describing any miss.
+pub fn self_test() -> Result<(), String> {
+    let base = parse_json(&synthetic_report(1.0))?;
+    let same = compare_values(&base, &base)?;
+    if !same.regressions().is_empty() {
+        return Err(format!(
+            "identical inputs flagged {} regression(s)",
+            same.regressions().len()
+        ));
+    }
+    let slow = parse_json(&synthetic_report(1.2))?;
+    let cmp = compare_values(&base, &slow)?;
+    let flagged = cmp.regressions();
+    if flagged.is_empty() {
+        return Err("injected 20% slowdown was not flagged".to_string());
+    }
+    // both the wall time and the histogram median slowed by 20%
+    if flagged.len() != cmp.diffs.len() {
+        return Err(format!(
+            "expected every metric flagged, got {}/{}",
+            flagged.len(),
+            cmp.diffs.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_harness_shaped_json() {
+        let v = parse_json(
+            "{\"a\": 1, \"b\": -2.5, \"c\": [true, false, null], \"d\": \"x\\ny\", \
+             \"e\": {\"nested\": 1e3}}",
+        )
+        .unwrap();
+        assert_eq!(get(&v, "a").and_then(as_f64), Some(1.0));
+        assert_eq!(get(&v, "b").and_then(as_f64), Some(-2.5));
+        assert_eq!(as_seq(get(&v, "c").unwrap()).unwrap().len(), 3);
+        assert_eq!(get(&v, "d").and_then(as_str), Some("x\ny"));
+        assert_eq!(get(get(&v, "e").unwrap(), "nested").and_then(as_f64), Some(1000.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn parser_handles_save_json_output() {
+        // exactly what the shim writer produces
+        let text = serde_json::to_string_pretty(&vec![(1u64, 2.5f64)]).unwrap();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(as_seq(&v).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let v = parse_json(&synthetic_report(1.0)).unwrap();
+        let cmp = compare_values(&v, &v).unwrap();
+        assert!(cmp.regressions().is_empty(), "{}", cmp.render());
+        assert_eq!(cmp.diffs.len(), 2); // wall_s + one hist p50
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_is_flagged() {
+        let base = parse_json(&synthetic_report(1.0)).unwrap();
+        let slow = parse_json(&synthetic_report(1.2)).unwrap();
+        let cmp = compare_values(&base, &slow).unwrap();
+        assert_eq!(cmp.regressions().len(), 2, "{}", cmp.render());
+        // and the reverse direction — a speedup — never fails the gate
+        let cmp = compare_values(&slow, &base).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn ten_percent_drift_stays_under_threshold() {
+        let base = parse_json(&synthetic_report(1.0)).unwrap();
+        let drift = parse_json(&synthetic_report(1.1)).unwrap();
+        let cmp = compare_values(&base, &drift).unwrap();
+        assert!(cmp.regressions().is_empty(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn schema_mismatch_is_fatal() {
+        let good = parse_json(&synthetic_report(1.0)).unwrap();
+        let bad = parse_json("{\"bench_schema\": 99, \"targets\": []}").unwrap();
+        assert!(compare_values(&good, &bad).is_err());
+    }
+
+    #[test]
+    fn missing_target_is_a_note_not_a_failure() {
+        let base = parse_json(&synthetic_report(1.0)).unwrap();
+        let new = parse_json(
+            "{\"bench_schema\": 1, \"host\": {\"os\": \"linux\", \"arch\": \"x86_64\", \
+             \"hardware_threads\": 1}, \"targets\": [{\"name\": \"other\", \"wall_s\": 1.0, \
+             \"hists\": []}, {\"name\": \"t\", \"wall_s\": 2.0, \"hists\": []}]}",
+        )
+        .unwrap();
+        let cmp = compare_values(&base, &new).unwrap();
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.notes.is_empty());
+        // base's hist row has no counterpart → only wall_s compared
+        assert_eq!(cmp.diffs.len(), 1);
+    }
+
+    #[test]
+    fn comparator_self_test_passes() {
+        self_test().unwrap();
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labelled() {
+        let base = parse_json(&synthetic_report(1.0)).unwrap();
+        let slow = parse_json(&synthetic_report(1.2)).unwrap();
+        let cmp = compare_values(&base, &slow).unwrap();
+        let a = cmp.render();
+        assert_eq!(a, cmp.render());
+        assert!(a.contains("<< REGRESSION"));
+        assert!(a.contains("t/wall_s"));
+        assert!(a.contains("t/sim.step.p50"));
+    }
+}

@@ -1,0 +1,241 @@
+//! `repro -- suite`: the continuous perf-regression harness.
+//!
+//! Runs the fast measured targets back-to-back with telemetry enabled
+//! and folds their wall times plus the streaming-histogram deltas each
+//! target produced (per-phase step durations, dispatch latency, sort
+//! occupancy, exchange overlap — see `telemetry::metrics`) into one
+//! versioned `BENCH.json`. A committed baseline plus [`crate::regress`]
+//! turns any checkout into a perf gate: run the suite, diff against the
+//! baseline, fail on >15% median regressions.
+//!
+//! The schema is versioned (`bench_schema`) so the comparator can refuse
+//! files it does not understand instead of silently mis-reading them,
+//! and the host descriptor travels with the numbers so cross-machine
+//! diffs are visibly apples-to-oranges.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Current `BENCH.json` schema version.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// The machine that produced the numbers. Medians only transfer within
+/// the same descriptor; the comparator reports a mismatch as a warning.
+#[derive(Serialize, Debug, Clone, PartialEq)]
+pub struct Host {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// `std::thread::available_parallelism()`.
+    pub hardware_threads: u64,
+}
+
+/// One streaming-histogram distribution recorded while a target ran.
+#[derive(Serialize, Debug, Clone, PartialEq)]
+pub struct HistRow {
+    /// Histogram name (e.g. `sim.step`, `pk.pool.dispatch.ns`).
+    pub name: String,
+    /// Samples recorded during this target.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: u64,
+    /// Nearest-rank percentiles over bucket floors (≤12.5% quantization).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// One suite target's results.
+#[derive(Serialize, Debug, Clone, PartialEq)]
+pub struct TargetRow {
+    /// Target name as passed to `repro`.
+    pub name: String,
+    /// Wall time of one full target run, seconds.
+    pub wall_s: f64,
+    /// Histogram deltas attributable to this target.
+    pub hists: Vec<HistRow>,
+}
+
+/// The whole `BENCH.json` document.
+#[derive(Serialize, Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA`]).
+    pub bench_schema: u64,
+    /// `git rev-parse --short HEAD` (override: `BENCH_GIT_REV`).
+    pub git_rev: String,
+    /// Measuring host descriptor.
+    pub host: Host,
+    /// Per-target medians and distributions, in run order.
+    pub targets: Vec<TargetRow>,
+}
+
+/// The fast measured targets the suite runs, in order. `tune` runs with
+/// short budgets (see [`run`]) so the whole suite stays CI-sized.
+pub const SUITE_TARGETS: [&str; 6] = ["dispatch", "push", "field", "tune", "ckpt", "ranks"];
+
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("BENCH_GIT_REV") {
+        return rev;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn host() -> Host {
+    Host {
+        os: std::env::consts::OS.to_string(),
+        arch: std::env::consts::ARCH.to_string(),
+        hardware_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            as u64,
+    }
+}
+
+/// Turn a metrics delta into sorted rows (BTreeMap iteration order, so
+/// the report is deterministic for a fixed set of recordings).
+fn hist_rows(delta: &telemetry::MetricsSnapshot) -> Vec<HistRow> {
+    delta
+        .hists
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| HistRow {
+            name: name.clone(),
+            count: h.count,
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+        })
+        .collect()
+}
+
+/// Set `key` only when the caller hasn't: suite runs want short tuner
+/// budgets, explicit env still wins.
+fn default_env(key: &str, value: &str) {
+    if std::env::var_os(key).is_none() {
+        std::env::set_var(key, value);
+    }
+}
+
+/// Run one target, returning its wall time and histogram deltas.
+fn run_one(name: &str, run: impl FnOnce()) -> TargetRow {
+    let before = telemetry::metrics_snapshot();
+    let t0 = std::time::Instant::now();
+    run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = telemetry::metrics_snapshot();
+    TargetRow { name: name.to_string(), wall_s, hists: hist_rows(&after.delta_since(&before)) }
+}
+
+/// Run the full suite and return the report. Telemetry is force-enabled
+/// for the duration so the hot-path histograms actually fill; the prior
+/// enabled state is restored on exit.
+pub fn run() -> BenchReport {
+    // the tuner's exhaustive sweep dominates suite wall time at default
+    // budgets; shrink it unless the caller asked for something specific
+    default_env("TUNE_EPOCH_STEPS", "6");
+    default_env("TUNE_SWEEP_STEPS", "20");
+
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+
+    let mut targets = Vec::new();
+    for name in SUITE_TARGETS {
+        println!("── suite: {name} ──");
+        let row = match name {
+            "dispatch" => run_one(name, || {
+                crate::dispatch::run();
+            }),
+            "push" => run_one(name, || {
+                crate::push::run();
+            }),
+            "field" => run_one(name, || {
+                crate::field::run();
+            }),
+            "tune" => run_one(name, || {
+                crate::tune::run();
+            }),
+            "ckpt" => run_one(name, || {
+                crate::ckpt::run();
+            }),
+            "ranks" => run_one(name, || {
+                crate::ranks::run();
+            }),
+            other => unreachable!("suite target {other} not wired"),
+        };
+        println!(
+            "[suite] {name}: {} wall, {} histogram(s)",
+            crate::fmt_time(row.wall_s),
+            row.hists.len()
+        );
+        targets.push(row);
+    }
+
+    telemetry::set_enabled(was_enabled);
+    BenchReport { bench_schema: BENCH_SCHEMA, git_rev: git_rev(), host: host(), targets }
+}
+
+/// Index a report's targets by name (the comparator's access pattern).
+pub fn by_name(report: &BenchReport) -> BTreeMap<&str, &TargetRow> {
+    report.targets.iter().map(|t| (t.name.as_str(), t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_descriptor_is_sane() {
+        let h = host();
+        assert!(!h.os.is_empty());
+        assert!(!h.arch.is_empty());
+        assert!(h.hardware_threads >= 1);
+    }
+
+    #[test]
+    fn git_rev_env_override_wins() {
+        std::env::set_var("BENCH_GIT_REV", "deadbeef");
+        assert_eq!(git_rev(), "deadbeef");
+        std::env::remove_var("BENCH_GIT_REV");
+    }
+
+    #[test]
+    fn hist_rows_skip_empty_and_sort_by_name() {
+        let mut delta = telemetry::MetricsSnapshot::default();
+        let mut a = telemetry::HistData { count: 2, sum: 30, ..Default::default() };
+        *a.buckets.entry(telemetry::bucket_index(10) as u32).or_insert(0) += 1;
+        *a.buckets.entry(telemetry::bucket_index(20) as u32).or_insert(0) += 1;
+        delta.hists.insert("z.second".into(), a);
+        delta.hists.insert("a.empty".into(), telemetry::HistData::default());
+        let rows = hist_rows(&delta);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "z.second");
+        assert_eq!(rows[0].count, 2);
+        assert!(rows[0].p50 <= rows[0].p95 && rows[0].p95 <= rows[0].p99);
+    }
+
+    #[test]
+    fn report_serializes_with_schema_and_host() {
+        let report = BenchReport {
+            bench_schema: BENCH_SCHEMA,
+            git_rev: "abc1234".into(),
+            host: host(),
+            targets: vec![TargetRow {
+                name: "dispatch".into(),
+                wall_s: 1.25,
+                hists: vec![],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"bench_schema\": 1"));
+        assert!(json.contains("\"git_rev\": \"abc1234\""));
+        assert!(json.contains("\"wall_s\": 1.25"));
+    }
+}

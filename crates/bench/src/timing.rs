@@ -10,15 +10,32 @@
 //! spans it encloses. When profiling is off `timed` still measures but
 //! records nothing, so the harness output is identical either way.
 
-/// Median wall time of `reps` invocations of `f`, after `warmup` unmeasured
-/// invocations, with each measured rep recorded as a `name` span when
-/// profiling is enabled. Returns seconds.
-pub fn median_time_named(
+/// Wall-time distribution of the measured reps: median for headline
+/// numbers, min/p95/max so a noisy run is visible in the report instead
+/// of silently folded into one number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Median measured rep, seconds.
+    pub median_s: f64,
+    /// Fastest measured rep, seconds.
+    pub min_s: f64,
+    /// Nearest-rank 95th percentile, seconds.
+    pub p95_s: f64,
+    /// Slowest measured rep, seconds.
+    pub max_s: f64,
+    /// Number of measured reps.
+    pub reps: usize,
+}
+
+/// Measure `reps` invocations of `f` after `warmup` unmeasured ones and
+/// return the full [`TimingStats`], with each measured rep recorded as a
+/// `name` span when profiling is enabled.
+pub fn measure_named(
     name: &'static str,
     warmup: usize,
     reps: usize,
     mut f: impl FnMut(),
-) -> f64 {
+) -> TimingStats {
     for _ in 0..warmup {
         f();
     }
@@ -29,7 +46,28 @@ pub fn median_time_named(
         })
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+    let n = samples.len();
+    // nearest-rank p95, matching the exporters' percentile convention
+    let p95_idx = ((95.0 / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+    TimingStats {
+        median_s: samples[n / 2],
+        min_s: samples[0],
+        p95_s: samples[p95_idx],
+        max_s: samples[n - 1],
+        reps: n,
+    }
+}
+
+/// Median wall time of `reps` invocations of `f`, after `warmup` unmeasured
+/// invocations, with each measured rep recorded as a `name` span when
+/// profiling is enabled. Returns seconds.
+pub fn median_time_named(
+    name: &'static str,
+    warmup: usize,
+    reps: usize,
+    f: impl FnMut(),
+) -> f64 {
+    measure_named(name, warmup, reps, f).median_s
 }
 
 /// [`median_time_named`] under the generic `bench.rep` span name.
@@ -66,6 +104,17 @@ mod tests {
     fn zero_reps_clamped() {
         let t = median_time(0, 0, || {});
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn stats_are_ordered_min_median_p95_max() {
+        let s = measure_named("bench.timing-stats", 1, 9, || {
+            black_box((0..black_box(20_000u64)).fold(0u64, |a, i| a ^ i.wrapping_mul(31)));
+        });
+        assert_eq!(s.reps, 9);
+        assert!(s.min_s <= s.median_s, "{s:?}");
+        assert!(s.median_s <= s.p95_s, "{s:?}");
+        assert!(s.p95_s <= s.max_s, "{s:?}");
     }
 
     #[test]

@@ -345,7 +345,7 @@ impl MultiRankSim {
     /// Advance one lockstep multi-rank step.
     pub fn step(&mut self) -> (PushStats, MigrationStats, StepTiming) {
         let n = self.ranks.len();
-        let _span = telemetry::span("cluster.exchange").arg("ranks", n).arg("step", self.step);
+        let _span = telemetry::hspan("cluster.exchange").arg("ranks", n).arg("step", self.step);
         let mut push = PushStats::default();
         let mut mig = MigrationStats::default();
         let mut out_of = vec![0usize; n];
@@ -485,6 +485,8 @@ impl MultiRankSim {
         }
         // ── phase C: merge deposition partials (wait on the accumulator
         //    exchange), write totals to every local image ──
+        // the loop body indexes several parallel per-rank arrays
+        #[allow(clippy::needless_range_loop)]
         for r in 0..n {
             let t0 = telemetry::now_ns();
             let mut totals = std::mem::take(&mut self.ranks[r].totals);
@@ -527,6 +529,8 @@ impl MultiRankSim {
             let t = (self.step as f64 * self.global_grid.dt as f64) as f32;
             (l.plane, l.amplitude * (l.omega * t).sin())
         });
+        // the loop body indexes several parallel per-rank arrays
+        #[allow(clippy::needless_range_loop)]
         for r in 0..n {
             let t0 = telemetry::now_ns();
             let st = &mut self.ranks[r];
@@ -573,6 +577,8 @@ impl MultiRankSim {
         }
         // ── phase F: second half B advance on the interior box while
         //    the E exchange is in flight ──
+        // the loop body indexes several parallel per-rank arrays
+        #[allow(clippy::needless_range_loop)]
         for r in 0..n {
             let t0 = telemetry::now_ns();
             let st = &mut self.ranks[r];
@@ -643,6 +649,7 @@ impl MultiRankSim {
             telemetry::count("cluster.bytes_moved", (mig.migrants * MIGRANT_BYTES) as u64);
             telemetry::count("cluster.halo_bytes", halo_bytes);
             telemetry::count("cluster.messages", messages);
+            telemetry::hist!("cluster.migrants.per_step", mig.migrants as u64);
         }
         // ── overlap accounting: each exchange is hidden by the compute
         //    window between its launch and its wait point ──
@@ -683,6 +690,14 @@ impl MultiRankSim {
             timing.exposed_exchange_s += exposed;
             timing.hidden_exchange_s += modeled - exposed;
             step_s = step_s.max(compute + exposed);
+            // per-rank exchange-overlap distributions: exposed is the tail
+            // that actually extends the step, hidden is what the compute
+            // window absorbed
+            telemetry::hist!("cluster.exposed_exchange.ns", (exposed * 1e9) as u64);
+            telemetry::hist!(
+                "cluster.hidden_exchange.ns",
+                ((modeled - exposed).max(0.0) * 1e9) as u64
+            );
         }
         timing.step_s = step_s;
         self.timing.add(&timing);
@@ -1125,6 +1140,8 @@ fn build_plans(decomp: &Decomposition, global: &Grid) -> Vec<RankPlan> {
         plans[r].links.push(link_rn);
         plans[n].links.push(link_nr);
     }
+    // the loop body indexes several parallel per-rank arrays
+    #[allow(clippy::needless_range_loop)]
     for r in 0..nranks {
         plans[r].links.sort_by_key(|l| l.rank);
         // periodic self-copies: a cell this rank owns that also appears

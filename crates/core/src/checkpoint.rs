@@ -420,7 +420,15 @@ impl Simulation {
             Ok(sim) => Ok((sim, false)),
             Err(primary) => match read(&ckpt::file::prev_path(path)) {
                 Ok(sim) => Ok((sim, true)),
-                Err(_) => Err(primary),
+                Err(_) => {
+                    if telemetry::enabled() {
+                        telemetry::dump_flight(&format!(
+                            "ckpt.restore: primary and .prev both failed for {}: {primary}",
+                            path.display()
+                        ));
+                    }
+                    Err(primary)
+                }
             },
         }
     }
@@ -607,7 +615,17 @@ impl Simulation {
         match catch_unwind(AssertUnwindSafe(|| self.step_on(space))) {
             Ok(stats) => Ok(stats),
             Err(payload) => match payload.downcast::<DispatchPanic>() {
-                Ok(dp) => Err(StepError::WorkerPanic { panicked_lanes: dp.panicked_lanes }),
+                Ok(dp) => {
+                    // leave post-mortem evidence: the flight recorder holds
+                    // the last spans before the lane died
+                    if telemetry::enabled() {
+                        telemetry::dump_flight(&format!(
+                            "sim.try_step: worker panic on {} lane(s) at step {}",
+                            dp.panicked_lanes, self.step
+                        ));
+                    }
+                    Err(StepError::WorkerPanic { panicked_lanes: dp.panicked_lanes })
+                }
                 Err(other) => resume_unwind(other),
             },
         }

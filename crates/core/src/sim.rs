@@ -209,13 +209,13 @@ impl Simulation {
 
     fn step_inner<S: ExecSpace>(&mut self, space: &S) -> PushStats {
         let _step_span =
-            telemetry::span("sim.step").arg("step", self.step).arg("space", space.name());
+            telemetry::hspan("sim.step").arg("step", self.step).arg("space", space.name());
         // periodic sort, as VPIC decks schedule it
         self.last_sort_ns = 0;
         self.last_sort_fired = false;
         if let Some(order) = self.sort_order {
             if self.sort_interval > 0 && self.steps_since_sort >= self.sort_interval {
-                let _s = telemetry::span("sim.sort").arg("order", order);
+                let _s = telemetry::hspan("sim.sort").arg("order", order);
                 let t0 = telemetry::now_ns();
                 let moved = self.sort_particles(order);
                 self.last_sort_ns = telemetry::now_ns().saturating_sub(t0);
@@ -229,12 +229,12 @@ impl Simulation {
         // the step so the push can borrow the species mutably alongside it
         let mut interps = std::mem::take(&mut self.interp);
         {
-            let _s = telemetry::span("sim.interpolate");
+            let _s = telemetry::hspan("sim.interpolate");
             load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
         }
         let mut stats = PushStats::default();
         {
-            let _s = telemetry::span("sim.push").arg("species", self.species.len());
+            let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
             self.fields.clear_j_on(space);
             self.acc.reset();
             for s in &mut self.species {
@@ -253,11 +253,11 @@ impl Simulation {
         telemetry::count("sim.cell_crossings", stats.crossings as u64);
         self.interp = interps;
         {
-            let _s = telemetry::span("sim.accumulate");
+            let _s = telemetry::hspan("sim.accumulate");
             self.acc.unload_on(space, self.strategy, &mut self.fields);
         }
         {
-            let _s = telemetry::span("sim.field_solve");
+            let _s = telemetry::hspan("sim.field_solve");
             // laser antenna: driven current on the injection plane
             if let Some(l) = &self.laser {
                 let t = self.time() as f32;
@@ -371,12 +371,12 @@ impl Simulation {
         let space = &Serial;
         let mut interps = std::mem::take(&mut self.interp);
         {
-            let _s = telemetry::span("sim.interpolate");
+            let _s = telemetry::hspan("sim.interpolate");
             load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
         }
         let mut stats = PushStats::default();
         {
-            let _s = telemetry::span("sim.push").arg("species", self.species.len());
+            let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
             self.fields.clear_j_on(space);
             self.acc.reset();
             for s in &mut self.species {
@@ -396,7 +396,7 @@ impl Simulation {
     /// accumulator into J. Must run after every rank-boundary partial
     /// has been merged via [`Simulation::acc_set_cell_raw`].
     pub fn unload_currents(&mut self) {
-        let _s = telemetry::span("sim.accumulate");
+        let _s = telemetry::hspan("sim.accumulate");
         self.acc.unload_on(&Serial, self.strategy, &mut self.fields);
     }
 

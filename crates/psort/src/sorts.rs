@@ -31,7 +31,7 @@ pub fn sort_pairs_in<V, S: ExecSpace>(
     keys: &mut [u32],
     values: &mut [V],
 ) {
-    let _s = telemetry::span("psort.sort_pairs")
+    let _s = telemetry::hspan("psort.sort_pairs")
         .arg("order", order)
         .arg("n", keys.len())
         .arg("space", space.name());
@@ -175,6 +175,9 @@ fn rewrite_keys_in<S: ExecSpace>(
     let mut hists: Vec<Vec<u64>> = vec![vec![0u64; range as usize]; blocks.len()];
     {
         let _s = telemetry::span("psort.histogram").arg("n", n).arg("range", range);
+        // sort occupancy in milli-particles-per-cell: the load factor that
+        // decides whether tiled-strided beats strided for this grid
+        telemetry::hist!("psort.occupancy.mppc", (n as u64).saturating_mul(1000) / range.max(1));
         space.parallel_for_mut(&mut hists, |b, hist| {
             for &k in &keys64[blocks[b].clone()] {
                 hist[(k - min_k) as usize] += 1;

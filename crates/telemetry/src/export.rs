@@ -4,6 +4,7 @@
 //! injected via the events, never sampled — so output is byte-identical
 //! for a fixed event sequence (the determinism tests below pin this).
 
+use crate::metrics::MetricsSnapshot;
 use crate::registry::{Event, Snapshot};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -23,6 +24,8 @@ pub struct SpanStat {
     pub p50_ns: u64,
     /// 95th-percentile duration, ns (nearest-rank).
     pub p95_ns: u64,
+    /// 99th-percentile duration, ns (nearest-rank).
+    pub p99_ns: u64,
     /// Longest single occurrence, ns.
     pub max_ns: u64,
 }
@@ -54,6 +57,7 @@ pub fn aggregate(events: &[Event]) -> Vec<SpanStat> {
                 mean_ns: total / d.len() as u64,
                 p50_ns: percentile(&d, 50.0),
                 p95_ns: percentile(&d, 95.0),
+                p99_ns: percentile(&d, 99.0),
                 max_ns: *d.last().unwrap(),
             }
         })
@@ -76,28 +80,72 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Render the end-of-run summary table (count, total, mean, p50, p95, max
-/// per span name, largest total first).
+/// Render the end-of-run summary table (count, total, mean, p50, p95,
+/// p99, max per span name, largest total first).
 pub fn format_summary(stats: &[SpanStat]) -> String {
     let name_w = stats.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "span", "count", "total", "mean", "p50", "p95", "max"
+        "{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "total", "mean", "p50", "p95", "p99", "max"
     );
     for s in stats {
         let _ = writeln!(
             out,
-            "{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "{:<name_w$} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
             s.name,
             s.count,
             fmt_ns(s.total_ns),
             fmt_ns(s.mean_ns),
             fmt_ns(s.p50_ns),
             fmt_ns(s.p95_ns),
+            fmt_ns(s.p99_ns),
             fmt_ns(s.max_ns),
         );
+    }
+    out
+}
+
+/// Render the streaming-metrics table (histograms with count/mean/p50/
+/// p95/p99, then gauges), name-ordered. Empty string when nothing was
+/// recorded.
+pub fn format_metrics(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !metrics.hists.is_empty() {
+        let name_w = metrics.hists.keys().map(|n| n.len()).max().unwrap_or(9).max(9);
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50", "p95", "p99"
+        );
+        for (name, h) in &metrics.hists {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+            );
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        let name_w = metrics.gauges.keys().map(|n| n.len()).max().unwrap_or(5).max(5);
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>12} {:>12} {:>12} {:>10}",
+            "gauge", "value", "min", "max", "sets"
+        );
+        for (name, g) in &metrics.gauges {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>12} {:>12} {:>12} {:>10}",
+                name, g.value, g.min, g.max, g.sets
+            );
+        }
     }
     out
 }
@@ -127,31 +175,62 @@ fn fmt_us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
+/// The Chrome-trace process an event belongs to: virtual rank `r` (from a
+/// `rank` span argument, as `rank_span` attaches) maps to `pid = r + 1`;
+/// everything else stays on the host process `pid = 0`. Perfetto groups
+/// tracks by pid, so multirank traces render one lane group per rank
+/// instead of one flat track list.
+fn event_pid(e: &Event) -> u32 {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == "rank")
+        .and_then(|(_, v)| v.parse::<u32>().ok())
+        .map_or(0, |r| r.saturating_add(1))
+}
+
 /// Render events as a Chrome `trace_event` JSON array — loadable in
-/// `chrome://tracing` and Perfetto. One `tid` (track) per worker lane,
-/// with thread-name metadata so lanes are labeled in the viewer.
+/// `chrome://tracing` and Perfetto. One `tid` (track) per worker lane
+/// with thread-name metadata, and one `pid` (process) per virtual rank
+/// with process-name metadata, so multirank traces group by rank.
 pub fn chrome_trace(events: &[Event]) -> String {
     let mut out = String::from("[\n");
     out.push_str(
         "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
          \"args\":{\"name\":\"vpic2\"}}",
     );
-    let tracks: BTreeSet<u32> = events.iter().map(|e| e.track).collect();
-    for t in tracks {
+    let mut tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut rank_pids: BTreeSet<u32> = BTreeSet::new();
+    for e in events {
+        let pid = event_pid(e);
+        tracks.insert((pid, e.track));
+        if pid > 0 {
+            rank_pids.insert(pid);
+        }
+    }
+    for &pid in &rank_pids {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"rank {}\"}}}}",
+            pid - 1
+        );
+    }
+    for &(pid, t) in &tracks {
         let label = if t == 0 { "lane 0 (caller)".to_string() } else { format!("lane {t}") };
         let _ = write!(
             out,
-            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"name\":\"thread_name\",\
+            ",\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{t},\"name\":\"thread_name\",\
              \"args\":{{\"name\":\"{label}\"}}}}"
         );
     }
     for e in events {
         let _ = write!(
             out,
-            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
              \"ts\":{},\"dur\":{}",
             esc(&e.name),
             esc(e.cat),
+            event_pid(e),
             e.track,
             fmt_us(e.start_ns),
             fmt_us(e.dur_ns),
@@ -173,7 +252,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
 }
 
 /// Render a snapshot as machine-readable summary JSON: counters, per-span
-/// stats, and the dropped-event count.
+/// stats, streaming histograms/gauges, and the dropped-event count.
 pub fn summary_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"dropped_events\": {},", snap.dropped_events);
@@ -196,20 +275,127 @@ pub fn summary_json(snap: &Snapshot) -> String {
         let _ = write!(
             out,
             "\n    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
-             \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}",
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
             esc(&s.name),
             s.count,
             s.total_ns,
             s.mean_ns,
             s.p50_ns,
             s.p95_ns,
+            s.p99_ns,
             s.max_ns,
         );
     }
     if !stats.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"hists\": [");
+    for (i, (name, h)) in snap.metrics.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            esc(name),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+        );
+    }
+    if !snap.metrics.hists.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"gauges\": [");
+    for (i, (name, g)) in snap.metrics.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"value\": {}, \"min\": {}, \"max\": {}, \"sets\": {}}}",
+            esc(name),
+            g.value,
+            g.min,
+            g.max,
+            g.sets,
+        );
+    }
+    if !snap.metrics.gauges.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str("]\n}\n");
+    out
+}
+
+/// Sanitize a metric name for the Prometheus exposition format
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
+/// leading digit gets a `_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format: counters
+/// as `counter`, span stats as `summary` (quantiles 0.5/0.95/0.99),
+/// streaming histograms as cumulative-`le` `histogram`, gauges as
+/// `gauge`. Pure function of the snapshot — byte-identical for fixed
+/// input, like every other exporter here.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {v}");
+    }
+    for s in aggregate(&snap.events) {
+        let n = format!("{}_ns", prom_name(&s.name));
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", s.p50_ns);
+        let _ = writeln!(out, "{n}{{quantile=\"0.95\"}} {}", s.p95_ns);
+        let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", s.p99_ns);
+        let _ = writeln!(out, "{n}_sum {}", s.total_ns);
+        let _ = writeln!(out, "{n}_count {}", s.count);
+    }
+    for (name, h) in &snap.metrics.hists {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (&idx, &c) in &h.buckets {
+            cum += c;
+            // `le` is the bucket's exclusive ceiling: with integer
+            // samples, every value in bucket `idx` is ≤ floor(idx+1) − 1
+            // < floor(idx+1), so the cumulative count is exact
+            let le = crate::metrics::bucket_floor(idx as usize + 1);
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (name, g) in &snap.metrics.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", g.value);
+        let _ = writeln!(out, "{n}_min {}", g.min);
+        let _ = writeln!(out, "{n}_max {}", g.max);
+    }
+    let _ = writeln!(out, "# TYPE telemetry_dropped_events_total counter");
+    let _ = writeln!(out, "telemetry_dropped_events_total {}", snap.dropped_events);
     out
 }
 
@@ -292,20 +478,115 @@ mod tests {
     }
 
     #[test]
-    fn summary_json_is_byte_deterministic() {
-        let snap = Snapshot {
+    fn chrome_trace_groups_ranked_events_by_pid() {
+        let mut events = synthetic_events();
+        events.push(Event {
+            name: "cluster.exchange".into(),
+            cat: "span",
+            track: 0,
+            start_ns: 5_000,
+            dur_ns: 700,
+            args: vec![("rank", "2".into())],
+        });
+        let out = chrome_trace(&events);
+        // rank 2 becomes Perfetto pid 3 with its own process_name...
+        assert!(out.contains("\"pid\":3,\"tid\":0,\"name\":\"process_name\""));
+        assert!(out.contains("\"name\":\"rank 2\""));
+        // ...and the ranked event emits under that pid
+        assert!(out.contains("\"ph\":\"X\",\"pid\":3,\"tid\":0"));
+        // rank-less events stay under the root process
+        assert!(out.contains("\"ph\":\"X\",\"pid\":0,\"tid\":0"));
+        // thread_name metadata now covers the (pid 3, tid 0) track too
+        assert!(out.contains("\"pid\":3,\"tid\":0,\"name\":\"thread_name\""));
+        assert_eq!(chrome_trace(&events), out, "still byte-deterministic with ranks");
+    }
+
+    /// A fixed synthetic metrics snapshot to pair with the events.
+    fn synthetic_metrics() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::default();
+        let mut h = crate::metrics::HistData::default();
+        for v in [100u64, 200, 400, 800, 6400] {
+            h.count += 1;
+            h.sum += v;
+            *h.buckets.entry(crate::metrics::bucket_index(v) as u32).or_insert(0) += 1;
+        }
+        m.hists.insert("sim.step".to_string(), h);
+        m.gauges.insert(
+            "pk.pool.lanes".to_string(),
+            crate::metrics::GaugeData { value: 4, min: 1, max: 4, sets: 3 },
+        );
+        m
+    }
+
+    fn synthetic_snapshot() -> Snapshot {
+        Snapshot {
             events: synthetic_events(),
-            counters: [("sim.particles_pushed".to_string(), 16384u64), ("pk.pool.dispatches".to_string(), 12u64)]
-                .into_iter()
-                .collect(),
+            counters: [
+                ("sim.particles_pushed".to_string(), 16384u64),
+                ("pk.pool.dispatches".to_string(), 12u64),
+            ]
+            .into_iter()
+            .collect(),
             dropped_events: 0,
-        };
+            metrics: synthetic_metrics(),
+        }
+    }
+
+    #[test]
+    fn summary_json_is_byte_deterministic() {
+        let snap = synthetic_snapshot();
         let a = summary_json(&snap);
         let b = summary_json(&snap);
         assert_eq!(a, b);
         assert!(a.contains("\"pk.pool.dispatches\": 12"));
         assert!(a.contains("\"dropped_events\": 0"));
         assert!(a.contains("\"name\": \"sim.push::lane\", \"count\": 2, \"total_ns\": 12900"));
+        // streaming metrics render alongside the span stats
+        assert!(a.contains("\"hists\": ["));
+        assert!(a.contains("\"p99\": "));
+        assert!(a.contains("\"name\": \"pk.pool.lanes\", \"value\": 4, \"min\": 1, \"max\": 4"));
+    }
+
+    #[test]
+    fn prometheus_text_is_byte_deterministic_and_shaped() {
+        let snap = synthetic_snapshot();
+        let a = prometheus_text(&snap);
+        assert_eq!(a, prometheus_text(&snap), "fixed snapshot must render identically");
+        // counters with the _total convention
+        assert!(a.contains("# TYPE sim_particles_pushed_total counter"));
+        assert!(a.contains("sim_particles_pushed_total 16384"));
+        // spans as summaries with sanitized names (colons are legal)
+        assert!(a.contains("# TYPE sim_push::lane_ns summary"));
+        assert!(a.contains("sim_step_ns{quantile=\"0.99\"} 9500"));
+        // histograms as cumulative le buckets ending at +Inf
+        assert!(a.contains("# TYPE sim_step histogram"));
+        assert!(a.contains("_bucket{le=\"+Inf\"} 5"));
+        assert!(a.contains("sim_step_count 5"));
+        // gauges with watermarks
+        assert!(a.contains("# TYPE pk_pool_lanes gauge"));
+        assert!(a.contains("pk_pool_lanes 4"));
+        assert!(a.contains("pk_pool_lanes_max 4"));
+        assert!(a.contains("telemetry_dropped_events_total 0"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let snap = synthetic_snapshot();
+        let out = prometheus_text(&snap);
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("sim_step_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "le counts must be monotone");
+        assert_eq!(*counts.last().unwrap(), 5, "+Inf bucket equals total count");
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("sim.push::lane"), "sim_push::lane");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("ok_name:x"), "ok_name:x");
     }
 
     #[test]

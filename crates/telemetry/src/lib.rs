@@ -6,10 +6,18 @@
 //! [`count`]er, and the resulting event stream exports as
 //!
 //! * a human-readable end-of-run summary table ([`format_summary`]),
-//! * machine-readable JSON ([`summary_json`]), and
+//! * machine-readable JSON ([`summary_json`]),
+//! * a Prometheus-style text page ([`prometheus_text`]), and
 //! * a Chrome `trace_event` file ([`chrome_trace`]) loadable in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>, with one track per
-//!   worker lane.
+//!   worker lane, grouped per virtual rank.
+//!
+//! Beyond spans and counters, the crate carries *streaming metrics* —
+//! lock-free log-bucketed [`Histogram`]s and [`Gauge`]s (see
+//! [`hist!`]/[`gauge_set!`] and the `metrics` module docs) — and a
+//! *flight recorder*: a bounded ring of the most recent span events that
+//! [`dump_flight`] renders into a deterministic post-mortem report when a
+//! run dies (worker panic, failed restore).
 //!
 //! ## The zero-cost-off contract
 //!
@@ -38,12 +46,22 @@
 //! caller/lane-0 thread and tracks 1..N are pool workers.
 
 mod export;
+mod flight;
+mod metrics;
 mod registry;
 
-pub use export::{aggregate, chrome_trace, format_summary, summary_json, SpanStat};
+pub use export::{
+    aggregate, chrome_trace, format_metrics, format_summary, prometheus_text, summary_json,
+    SpanStat,
+};
+pub use flight::{dump_flight, flight_report, render_flight_report};
+pub use metrics::{
+    bucket_floor, bucket_index, gauge, histogram, metrics_snapshot, record_hist, Gauge, GaugeData,
+    HistData, Histogram, MetricsSnapshot, HIST_BUCKETS,
+};
 pub use registry::{
-    counter, counters, reset, restore_counter_baselines, snapshot, window_mark, window_since, Event,
-    Snapshot, SpanWindow, WindowMark, WindowTotals,
+    counter, counters, flight_snapshot, reset, restore_counter_baselines, snapshot, window_mark,
+    window_since, Event, FlightSnapshot, Snapshot, SpanWindow, WindowMark, WindowTotals,
 };
 
 use std::borrow::Cow;
@@ -156,6 +174,9 @@ struct ActiveSpan {
     track: Option<u32>,
     start_ns: u64,
     args: Vec<(&'static str, String)>,
+    /// Also feed the duration into the same-named streaming histogram on
+    /// drop ([`hspan`]).
+    hist: bool,
 }
 
 /// An RAII span guard: records one duration event on drop. Disabled spans
@@ -204,6 +225,24 @@ pub fn span_dyn(name: impl Into<Cow<'static, str>>) -> Span {
     }
 }
 
+/// A span whose duration also streams into the same-named histogram on
+/// drop — the phase-level instrumentation primitive: one call site yields
+/// both the trace row *and* the p50/p95/p99 distribution that the bench
+/// suite and Prometheus exporter read. Same disabled-path contract as
+/// [`span`] (one relaxed load, `None`, records nothing).
+#[inline]
+pub fn hspan(name: &'static str) -> Span {
+    if !enabled() {
+        Span(None)
+    } else {
+        let mut s = begin(Cow::Borrowed(name), "span", None);
+        if let Some(a) = s.0.as_mut() {
+            a.hist = true;
+        }
+        s
+    }
+}
+
 /// A span attributed to virtual rank `rank`: per-rank phase timing in a
 /// multi-rank lockstep driver (`cluster::multirank`). Equivalent to
 /// [`span`] with a `rank` argument, spelled as a helper so every rank
@@ -230,13 +269,21 @@ pub fn lane_span(name: impl Into<Cow<'static, str>>, lane: usize) -> Span {
         track: Some(lane as u32),
         start_ns: now_ns(),
         args: Vec::new(),
+        hist: false,
     })))
 }
 
 #[cold]
 fn begin(name: Cow<'static, str>, cat: &'static str, track: Option<u32>) -> Span {
     NAME_STACK.with(|s| s.borrow_mut().push(name.to_string()));
-    Span(Some(Box::new(ActiveSpan { name, cat, track, start_ns: now_ns(), args: Vec::new() })))
+    Span(Some(Box::new(ActiveSpan {
+        name,
+        cat,
+        track,
+        start_ns: now_ns(),
+        args: Vec::new(),
+        hist: false,
+    })))
 }
 
 impl Drop for Span {
@@ -248,12 +295,16 @@ impl Drop for Span {
                     s.borrow_mut().pop();
                 });
             }
+            let dur_ns = end.saturating_sub(a.start_ns);
+            if a.hist {
+                metrics::record_named(&a.name, dur_ns);
+            }
             registry::record(Event {
                 name: a.name.into_owned(),
                 cat: a.cat,
                 track: a.track.unwrap_or_else(current_track),
                 start_ns: a.start_ns,
-                dur_ns: end.saturating_sub(a.start_ns),
+                dur_ns,
                 args: a.args,
             });
         }
@@ -370,6 +421,53 @@ mod tests {
         let ev = snap.events.iter().find(|e| e.name == "test.lane-span").unwrap();
         assert_eq!(ev.track, 7);
         assert_eq!(ev.cat, "lane");
+    }
+
+    #[test]
+    fn hspan_records_both_event_and_histogram() {
+        let _g = flag_lock();
+        let was = enabled();
+        set_enabled(true);
+        let before = histogram("test.hspan").snapshot().count;
+        {
+            let _s = hspan("test.hspan");
+            std::hint::black_box(0u64);
+        }
+        let after = histogram("test.hspan").snapshot();
+        set_enabled(was);
+        assert_eq!(after.count, before + 1, "hspan must stream its duration");
+        assert!(snapshot().events.iter().any(|e| e.name == "test.hspan"));
+    }
+
+    #[test]
+    fn hist_macro_gates_on_enabled() {
+        let _g = flag_lock();
+        let was = enabled();
+        set_enabled(false);
+        let before = histogram("test.hist-macro").snapshot().count;
+        for i in 0..10u64 {
+            hist!("test.hist-macro", i);
+        }
+        set_enabled(true);
+        for i in 0..10u64 {
+            hist!("test.hist-macro", i);
+        }
+        let after = histogram("test.hist-macro").snapshot();
+        set_enabled(was);
+        assert_eq!(after.count, before + 10, "only enabled records may land");
+    }
+
+    #[test]
+    fn gauge_macro_sets_when_enabled() {
+        let _g = flag_lock();
+        let was = enabled();
+        set_enabled(true);
+        gauge_set!("test.gauge-macro", 7);
+        gauge_set!("test.gauge-macro", 3);
+        let d = gauge("test.gauge-macro").snapshot();
+        set_enabled(was);
+        assert_eq!(d.value, 3);
+        assert_eq!(d.max, 7);
     }
 
     #[test]

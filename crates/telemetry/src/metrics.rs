@@ -1,0 +1,578 @@
+//! Streaming metrics: lock-free log-bucketed histograms and gauges.
+//!
+//! Spans answer "*when* did this phase run and for how long"; histograms
+//! answer "what does the *distribution* of that duration look like" without
+//! storing one event per occurrence — a soak run records millions of
+//! samples into a few kilobytes of buckets. Per Ruzicka et al.
+//! (PAPERS.md), per-phase distributions (not means) are what expose
+//! backend-specific tail behavior, so the percentile surface here
+//! (p50/p95/p99) is what the bench suite, the tuner's cost model, and the
+//! CI regression harness consume.
+//!
+//! ## Discipline (same as spans)
+//!
+//! * **Gate**: the [`hist!`]/[`gauge_set!`] macros are one relaxed atomic
+//!   load when profiling is off — nothing is registered, formatted, or
+//!   touched (regression-tested in `tests/overhead.rs` at ≤ 5 ns, with
+//!   the enabled path held to ≤ 50 ns).
+//! * **Lock-free recording**: a sample is three relaxed `fetch_add`s on
+//!   the recording thread's stripe — no mutex anywhere on the hot path.
+//!   Stripes keep concurrent lanes off each other's cache lines; the
+//!   exporter merges them.
+//! * **Determinism**: bucket counts are commutative sums, so any
+//!   interleaving of a fixed sample multiset yields byte-identical
+//!   snapshots and percentiles (proptested in `tests/metrics.rs`,
+//!   including merge associativity).
+//!
+//! ## Bucket scheme
+//!
+//! Log-linear base-2 ("HDR-lite"): values `0..8` get exact unit buckets;
+//! above that, each power-of-two octave is split into 8 linear
+//! sub-buckets, so the relative quantization error is bounded by 1/8 =
+//! 12.5% across the full `u64` range. 496 buckets cover everything from
+//! 1 ns to ~584 years; snapshots store only the non-zero ones.
+//! Percentiles are nearest-rank over bucket *floors* — a deterministic,
+//! conservative (never over-reporting) readout.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Sub-buckets per octave as a power of two (8 → ≤12.5% relative error).
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: unit buckets 0..8, then 8 per octave for octaves
+/// 3..=63.
+pub const HIST_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Stripes per histogram: concurrent recorders spread round-robin so
+/// worker lanes do not share bucket cache lines.
+const HIST_STRIPES: usize = 8;
+
+/// The bucket a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // floor(log2 v), ≥ 3
+        let shift = octave as u32 - SUB_BITS;
+        SUBS + (octave - SUB_BITS as usize) * SUBS + (((v >> shift) as usize) & (SUBS - 1))
+    }
+}
+
+/// Smallest value that lands in bucket `idx` (the percentile readout
+/// value, making reported quantiles deterministic underestimates by at
+/// most 12.5%).
+pub fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        idx as u64
+    } else {
+        let octave = SUB_BITS as usize + (idx - SUBS) / SUBS;
+        let sub = ((idx - SUBS) % SUBS) as u64;
+        (SUBS as u64 + sub) << (octave - SUB_BITS as usize)
+    }
+}
+
+// ---------------------------------------------------------------- stripes
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe (round-robin on first use, like event shards).
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn my_stripe() -> usize {
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % HIST_STRIPES;
+        s.set(v);
+        v
+    })
+}
+
+// -------------------------------------------------------------- histogram
+
+struct HistStripe {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistStripe {
+    fn new() -> Self {
+        HistStripe {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A lock-free, log-bucketed, striped streaming histogram. Obtain a
+/// process-lifetime handle with [`histogram`]; record hot-path samples
+/// through the [`hist!`] macro (which caches the handle per call site and
+/// applies the `enabled()` gate).
+pub struct Histogram {
+    name: String,
+    stripes: Vec<HistStripe>,
+}
+
+impl Histogram {
+    fn new(name: &str) -> Self {
+        Histogram {
+            name: name.to_string(),
+            stripes: (0..HIST_STRIPES).map(|_| HistStripe::new()).collect(),
+        }
+    }
+
+    /// Histogram name (the registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one sample: three relaxed `fetch_add`s on this thread's
+    /// stripe. Does **not** check [`crate::enabled`] — the `hist!` macro
+    /// (or whoever holds the handle) gates before calling.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &self.stripes[my_stripe()];
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge every stripe into one [`HistData`].
+    pub fn snapshot(&self) -> HistData {
+        let mut data = HistData::default();
+        for s in &self.stripes {
+            data.count += s.count.load(Ordering::Relaxed);
+            data.sum += s.sum.load(Ordering::Relaxed);
+            for (i, b) in s.buckets.iter().enumerate() {
+                let v = b.load(Ordering::Relaxed);
+                if v > 0 {
+                    *data.buckets.entry(i as u32).or_insert(0) += v;
+                }
+            }
+        }
+        data
+    }
+
+    fn clear(&self) {
+        for s in &self.stripes {
+            s.count.store(0, Ordering::Relaxed);
+            s.sum.store(0, Ordering::Relaxed);
+            for b in s.buckets.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A merged histogram snapshot: sparse non-zero bucket counts. Mergeable
+/// (bucket-wise addition — associative and commutative) and diffable, so
+/// the bench suite reads per-target windows by subtracting two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistData {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Non-zero buckets: index → count, index-ordered.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl HistData {
+    /// Bucket-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &HistData) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+    }
+
+    /// Samples recorded since `earlier` was taken (saturating, so a
+    /// `reset` between the two snapshots yields "since the reset").
+    pub fn delta_since(&self, earlier: &HistData) -> HistData {
+        let mut out = HistData {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: BTreeMap::new(),
+        };
+        for (&i, &c) in &self.buckets {
+            let base = earlier.buckets.get(&i).copied().unwrap_or(0);
+            if c > base {
+                out.buckets.insert(i, c - base);
+            }
+        }
+        out
+    }
+
+    /// Nearest-rank percentile over bucket floors (0 when empty).
+    /// Deterministic for a fixed sample multiset regardless of recording
+    /// order or stripe assignment.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&i, &c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return bucket_floor(i as usize);
+            }
+        }
+        // unreachable when count equals the bucket sum; be safe anyway
+        self.buckets.keys().next_back().map_or(0, |&i| bucket_floor(i as usize))
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+// ------------------------------------------------------------------ gauge
+
+/// A last-value gauge with min/max watermarks. `value` reflects the most
+/// recent [`Gauge::set`] (meaningful with one logical writer); `min`/`max`
+/// are commutative watermarks and stay deterministic under concurrent
+/// writers.
+pub struct Gauge {
+    value: AtomicI64,
+    min: AtomicI64,
+    max: AtomicI64,
+    sets: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+            min: AtomicI64::new(i64::MAX),
+            max: AtomicI64::new(i64::MIN),
+            sets: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the gauge. Does **not** check [`crate::enabled`] — the
+    /// `gauge_set!` macro gates before calling.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add a delta and update the watermarks with the result.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        let v = self.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value/min/max/update-count.
+    pub fn snapshot(&self) -> GaugeData {
+        let sets = self.sets.load(Ordering::Relaxed);
+        if sets == 0 {
+            return GaugeData::default();
+        }
+        GaugeData {
+            value: self.value.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            sets,
+        }
+    }
+
+    fn clear(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.min.store(i64::MAX, Ordering::Relaxed);
+        self.max.store(i64::MIN, Ordering::Relaxed);
+        self.sets.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeData {
+    /// Most recent value set.
+    pub value: i64,
+    /// Smallest value ever set.
+    pub min: i64,
+    /// Largest value ever set.
+    pub max: i64,
+    /// Number of updates.
+    pub sets: u64,
+}
+
+// --------------------------------------------------------------- registry
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static HISTOGRAMS: OnceLock<Mutex<BTreeMap<String, &'static Histogram>>> = OnceLock::new();
+static GAUGES: OnceLock<Mutex<BTreeMap<String, &'static Gauge>>> = OnceLock::new();
+
+fn hist_registry() -> &'static Mutex<BTreeMap<String, &'static Histogram>> {
+    HISTOGRAMS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn gauge_registry() -> &'static Mutex<BTreeMap<String, &'static Gauge>> {
+    GAUGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Process-lifetime handle to the named histogram, registering it on
+/// first use. Handles are `&'static` (one bounded leak per distinct
+/// name), so call sites cache them — the [`hist!`] macro does this
+/// automatically — and [`crate::reset`] zeroes buckets in place without
+/// invalidating anything.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = lock(hist_registry());
+    if let Some(h) = reg.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(name)));
+    reg.insert(name.to_string(), h);
+    h
+}
+
+/// Process-lifetime handle to the named gauge (see [`histogram`]).
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = lock(gauge_registry());
+    if let Some(g) = reg.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    reg.insert(name.to_string(), g);
+    g
+}
+
+/// Record one sample into the named histogram when profiling is on.
+/// Convenience for cold paths (one registry lock per call); hot paths use
+/// the [`hist!`] macro, which caches the handle per call site.
+pub fn record_hist(name: &str, v: u64) {
+    if crate::enabled() {
+        histogram(name).record(v);
+    }
+}
+
+/// Record into a histogram by (possibly runtime-built) name without the
+/// enabled gate — the internal path for `hspan` drops, whose gate ran at
+/// span creation.
+pub(crate) fn record_named(name: &str, v: u64) {
+    histogram(name).record(v);
+}
+
+/// Every registered histogram and gauge, merged and name-ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistData>,
+    /// Gauge snapshots by name (never-set gauges omitted).
+    pub gauges: BTreeMap<String, GaugeData>,
+}
+
+impl MetricsSnapshot {
+    /// Histograms' activity since `earlier` (gauges pass through current
+    /// values — they are not cumulative).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot { hists: BTreeMap::new(), gauges: self.gauges.clone() };
+        for (name, h) in &self.hists {
+            let d = match earlier.hists.get(name) {
+                Some(e) => h.delta_since(e),
+                None => h.clone(),
+            };
+            if d.count > 0 {
+                out.hists.insert(name.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+/// Snapshot every registered histogram and gauge.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (name, h) in lock(hist_registry()).iter() {
+        snap.hists.insert(name.clone(), h.snapshot());
+    }
+    for (name, g) in lock(gauge_registry()).iter() {
+        let data = g.snapshot();
+        if data.sets > 0 {
+            snap.gauges.insert(name.clone(), data);
+        }
+    }
+    snap
+}
+
+/// Zero every registered histogram and gauge in place (handles stay
+/// valid). Called by [`crate::reset`].
+pub(crate) fn reset_metrics() {
+    for h in lock(hist_registry()).values() {
+        h.clear();
+    }
+    for g in lock(gauge_registry()).values() {
+        g.clear();
+    }
+}
+
+/// Record a sample into a named histogram when profiling is enabled.
+/// Disabled cost is one relaxed atomic load; the value expression is not
+/// evaluated. The handle is looked up once per call site and cached in a
+/// static, so the enabled path is the lookup-free [`Histogram::record`].
+#[macro_export]
+macro_rules! hist {
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled() {
+            static __VPIC_HIST: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            __VPIC_HIST.get_or_init(|| $crate::histogram($name)).record($value);
+        }
+    }};
+}
+
+/// Set a named gauge when profiling is enabled (same gate and per-site
+/// handle caching as [`hist!`]).
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled() {
+            static __VPIC_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+                ::std::sync::OnceLock::new();
+            __VPIC_GAUGE.get_or_init(|| $crate::gauge($name)).set($value);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_floor_roundtrip() {
+        // exact unit buckets below 8
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+        // floors are the smallest member of their bucket, error ≤ 12.5%
+        for v in [8u64, 9, 15, 16, 100, 1_000, 123_456, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            assert!(v - floor <= floor / 8, "bucket too wide at {v}: floor {floor}");
+            assert_eq!(bucket_index(floor), idx, "floor must land in its own bucket");
+        }
+        assert!(bucket_index(u64::MAX) < HIST_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone() {
+        let mut prev = bucket_index(0);
+        for v in 1..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index decreased at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_read_back_recorded_values() {
+        let h = Histogram::new("metrics.test.readback");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let d = h.snapshot();
+        assert_eq!(d.count, 100);
+        assert_eq!(d.sum, 5050);
+        // exact below 8; within 12.5% above
+        let p50 = d.percentile(50.0);
+        assert!((44..=50).contains(&p50), "p50 {p50}");
+        let p99 = d.percentile(99.0);
+        assert!((87..=99).contains(&p99), "p99 {p99}");
+        assert_eq!(d.percentile(100.0), bucket_floor(bucket_index(100)));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        assert_eq!(HistData::default().percentile(50.0), 0);
+        assert_eq!(HistData::default().mean(), 0);
+    }
+
+    #[test]
+    fn merge_adds_and_delta_subtracts() {
+        let a = Histogram::new("metrics.test.merge.a");
+        let b = Histogram::new("metrics.test.merge.b");
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 20, 200, 2000] {
+            b.record(v);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        assert_eq!(merged.count, 7);
+        assert_eq!(merged.sum, sa.sum + sb.sum);
+        let back = merged.delta_since(&sb);
+        assert_eq!(back, sa, "delta must invert merge");
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_watermarks() {
+        let g = Gauge::new();
+        assert_eq!(g.snapshot(), GaugeData::default());
+        g.set(5);
+        g.set(-3);
+        g.set(2);
+        let d = g.snapshot();
+        assert_eq!(d.value, 2);
+        assert_eq!(d.min, -3);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.sets, 3);
+        g.add(10);
+        assert_eq!(g.snapshot().value, 12);
+        assert_eq!(g.snapshot().max, 12);
+    }
+
+    #[test]
+    fn registry_returns_same_handle_and_reset_keeps_it_valid() {
+        let h1 = histogram("metrics.test.registry");
+        let h2 = histogram("metrics.test.registry");
+        assert!(std::ptr::eq(h1, h2));
+        h1.record(42);
+        assert!(h2.snapshot().count >= 1);
+        reset_metrics();
+        assert_eq!(h1.snapshot().count, 0, "reset zeroes in place");
+        h1.record(1); // handle still usable
+        assert!(h1.snapshot().count >= 1);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_window() {
+        let h = histogram("metrics.test.window");
+        h.record(7);
+        let before = metrics_snapshot();
+        h.record(9);
+        h.record(11);
+        let delta = metrics_snapshot().delta_since(&before);
+        let d = &delta.hists["metrics.test.window"];
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 20);
+    }
+}

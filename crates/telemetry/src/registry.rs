@@ -2,8 +2,9 @@
 //! worker lanes never contend on one lock, bounded so an instrumented
 //! soak run cannot grow memory without limit.
 
+use crate::metrics::MetricsSnapshot;
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -30,11 +31,18 @@ const SHARD_COUNT: usize = 16;
 /// than silently vanishing (the drop count is exported).
 const MAX_EVENTS_PER_SHARD: usize = 1 << 18;
 
+/// Flight-recorder ring capacity per shard: the most recent span events,
+/// kept even after `MAX_EVENTS_PER_SHARD` starts dropping from the main
+/// buffer, so a post-mortem always sees the run's last moments.
+const FLIGHT_RING_PER_SHARD: usize = 256;
+
 #[derive(Default)]
 struct Shard {
     events: Vec<Event>,
     counters: HashMap<&'static str, u64>,
     dropped: u64,
+    /// Bounded ring of the most recent events (flight recorder).
+    recent: VecDeque<Event>,
 }
 
 static SHARDS: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
@@ -69,10 +77,17 @@ fn my_shard() -> &'static Mutex<Shard> {
 
 pub(crate) fn record(event: Event) {
     let mut shard = lock(my_shard());
+    if shard.recent.len() == FLIGHT_RING_PER_SHARD {
+        shard.recent.pop_front();
+    }
     if shard.events.len() < MAX_EVENTS_PER_SHARD {
+        shard.recent.push_back(event.clone());
         shard.events.push(event);
     } else {
+        // the main buffer is full — the *ring* still keeps the tail so a
+        // post-mortem sees the crash window, not just the drop counter
         shard.dropped += 1;
+        shard.recent.push_back(event);
     }
 }
 
@@ -153,6 +168,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Events discarded because a shard hit its cap.
     pub dropped_events: u64,
+    /// Streaming-metric snapshots (histograms and gauges), name-ordered.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Merge every shard into one ordered [`Snapshot`] (does not reset).
@@ -170,13 +187,52 @@ pub fn snapshot() -> Snapshot {
         }
         snap.dropped_events += shard.dropped;
     }
-    snap.events.sort_by(|a, b| {
-        a.start_ns
-            .cmp(&b.start_ns)
-            .then(b.dur_ns.cmp(&a.dur_ns))
-            .then(a.track.cmp(&b.track))
-            .then(a.name.cmp(&b.name))
-    });
+    snap.events.sort_by(event_order);
+    snap.metrics = crate::metrics::metrics_snapshot();
+    snap
+}
+
+/// The canonical event ordering: (start, longest-first, track, name), so
+/// parents precede their children and fixed event sets order identically.
+fn event_order(a: &Event, b: &Event) -> std::cmp::Ordering {
+    a.start_ns
+        .cmp(&b.start_ns)
+        .then(b.dur_ns.cmp(&a.dur_ns))
+        .then(a.track.cmp(&b.track))
+        .then(a.name.cmp(&b.name))
+}
+
+// --------------------------------------------------------- flight recorder
+
+/// The flight recorder's view: the most recent events (bounded ring per
+/// shard, merged and ordered), counter totals, and the drop count.
+#[derive(Debug, Clone, Default)]
+pub struct FlightSnapshot {
+    /// Ring contents, ordered like [`Snapshot::events`].
+    pub events: Vec<Event>,
+    /// Counter totals, name-ordered (baselines included).
+    pub counters: BTreeMap<String, u64>,
+    /// Events discarded from the main buffers (the ring kept recording).
+    pub dropped_events: u64,
+}
+
+/// Merge every shard's recent-event ring into one ordered
+/// [`FlightSnapshot`]. Cheap relative to [`snapshot`]: at most
+/// `256 × shards` events regardless of run length.
+pub fn flight_snapshot() -> FlightSnapshot {
+    let mut snap = FlightSnapshot::default();
+    for (k, &v) in baselines().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        snap.counters.insert(k.clone(), v);
+    }
+    for s in shards() {
+        let shard = lock(s);
+        snap.events.extend(shard.recent.iter().cloned());
+        for (&k, &v) in &shard.counters {
+            *snap.counters.entry(k.to_string()).or_insert(0) += v;
+        }
+        snap.dropped_events += shard.dropped;
+    }
+    snap.events.sort_by(event_order);
     snap
 }
 
@@ -285,15 +341,19 @@ pub fn window_since(mark: &WindowMark) -> WindowTotals {
     totals
 }
 
-/// Clear all recorded events, counters, and restored baselines.
+/// Clear all recorded events, counters, restored baselines, the flight
+/// ring, and every metric (histograms/gauges are zeroed in place, so
+/// cached handles stay valid).
 pub fn reset() {
     for s in shards() {
         let mut shard = lock(s);
         shard.events.clear();
         shard.counters.clear();
         shard.dropped = 0;
+        shard.recent.clear();
     }
     baselines().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    crate::metrics::reset_metrics();
 }
 
 #[cfg(test)]
@@ -396,6 +456,26 @@ mod tests {
         assert_eq!(w.counter(name), 0, "baselines must not leak into windows");
         add_counter("registry.test.baseline.window", 3);
         assert_eq!(window_since(&mark).counter(name), 3);
+    }
+
+    #[test]
+    fn flight_ring_keeps_the_most_recent_events() {
+        let n = FLIGHT_RING_PER_SHARD + 10;
+        for i in 0..n {
+            record(ev("registry.test.flight", i as u64, 1));
+        }
+        let fs = flight_snapshot();
+        let mine: Vec<_> =
+            fs.events.iter().filter(|e| e.name == "registry.test.flight").collect();
+        assert!(mine.len() <= FLIGHT_RING_PER_SHARD, "ring must stay bounded");
+        assert!(
+            mine.iter().any(|e| e.start_ns == (n - 1) as u64),
+            "the newest event must survive eviction"
+        );
+        assert!(
+            !mine.iter().any(|e| e.start_ns == 0),
+            "the oldest overflow event must have been evicted"
+        );
     }
 
     #[test]

@@ -66,6 +66,71 @@ fn disabled_span_overhead_under_5ns_per_iter() {
 }
 
 #[test]
+fn disabled_hist_overhead_under_5ns_per_iter() {
+    let _g = flag_lock();
+    telemetry::set_enabled(false);
+
+    let baseline = best_of(|| {
+        for i in 0..ITERS {
+            black_box(i);
+        }
+    });
+    let instrumented = best_of(|| {
+        for i in 0..ITERS {
+            telemetry::hist!("overhead.hist.disabled", i);
+            black_box(i);
+        }
+    });
+
+    let per_iter = (instrumented - baseline).max(0.0) / ITERS as f64;
+    // same contract as disabled spans: the macro's only cost is one
+    // relaxed atomic load of the gate
+    let budget = if cfg!(debug_assertions) { 100.0 } else { 5.0 };
+    assert!(
+        per_iter < budget,
+        "disabled hist! path costs {per_iter:.2} ns/iter (budget: {budget} ns); \
+         baseline {baseline:.0} ns, instrumented {instrumented:.0} ns for {ITERS} iters"
+    );
+    let snap = telemetry::snapshot();
+    assert!(
+        !snap.metrics.hists.contains_key("overhead.hist.disabled"),
+        "disabled hist! must not register or record"
+    );
+}
+
+#[test]
+fn enabled_hist_overhead_under_50ns_per_iter() {
+    let _g = flag_lock();
+    telemetry::set_enabled(true);
+
+    let baseline = best_of(|| {
+        for i in 0..ITERS {
+            black_box(i);
+        }
+    });
+    let instrumented = best_of(|| {
+        for i in 0..ITERS {
+            telemetry::hist!("overhead.hist.enabled", i);
+            black_box(i);
+        }
+    });
+    telemetry::set_enabled(false);
+
+    let per_iter = (instrumented - baseline).max(0.0) / ITERS as f64;
+    // enabled budget: bucket_index + three relaxed fetch_adds on a
+    // thread-local stripe
+    let budget = if cfg!(debug_assertions) { 500.0 } else { 50.0 };
+    assert!(
+        per_iter < budget,
+        "enabled hist! path costs {per_iter:.2} ns/iter (budget: {budget} ns); \
+         baseline {baseline:.0} ns, instrumented {instrumented:.0} ns for {ITERS} iters"
+    );
+    let snap = telemetry::snapshot();
+    let h = snap.metrics.hists.get("overhead.hist.enabled").expect("histogram registered");
+    assert!(h.count >= ITERS * TRIALS as u64, "all samples recorded, saw {}", h.count);
+}
+
+#[test]
 fn enabled_spans_report_plausible_nonzero_totals() {
     let _g = flag_lock();
     telemetry::set_enabled(true);
