@@ -28,6 +28,7 @@ pub mod ranks;
 pub mod regress;
 pub mod suite;
 pub mod table1;
+pub mod tile;
 pub mod timing;
 pub mod tune;
 

@@ -23,6 +23,9 @@
 //!                     parallel+vectorized vs pre-rewrite serial baseline
 //!   tune              adaptive tuner vs exhaustive config sweep
 //!                     (TUNE_EPOCH_STEPS / TUNE_SWEEP_STEPS / TUNE_PLATFORM)
+//!   tile              out-of-core tiled stepping: capacity ratio vs the
+//!                     hot-pool budget, codec ratio, pushes/s, bit-stable
+//!                     ledger (TILE_STEPS / TILE_GRID / TILE_PPC)
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
@@ -74,6 +77,7 @@ fn run_target(name: &str) -> bool {
         "push" => bench::save_json("push", &bench::push::run()),
         "field" => bench::save_json("field", &bench::field::run()),
         "tune" => bench::save_json("tune", &bench::tune::run()),
+        "tile" => bench::save_json("tile", &bench::tile::run()),
         "suite" => bench::save_json("BENCH", &bench::suite::run()),
         other => {
             eprintln!("unknown target: {other}");

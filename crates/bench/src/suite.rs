@@ -74,7 +74,8 @@ pub struct BenchReport {
 
 /// The fast measured targets the suite runs, in order. `tune` runs with
 /// short budgets (see [`run`]) so the whole suite stays CI-sized.
-pub const SUITE_TARGETS: [&str; 6] = ["dispatch", "push", "field", "tune", "ckpt", "ranks"];
+pub const SUITE_TARGETS: [&str; 7] =
+    ["dispatch", "push", "field", "tune", "ckpt", "tile", "ranks"];
 
 fn git_rev() -> String {
     if let Ok(rev) = std::env::var("BENCH_GIT_REV") {
@@ -142,6 +143,7 @@ pub fn run() -> BenchReport {
     // budgets; shrink it unless the caller asked for something specific
     default_env("TUNE_EPOCH_STEPS", "6");
     default_env("TUNE_SWEEP_STEPS", "20");
+    default_env("TILE_STEPS", "10");
 
     let was_enabled = telemetry::enabled();
     telemetry::set_enabled(true);
@@ -164,6 +166,9 @@ pub fn run() -> BenchReport {
             }),
             "ckpt" => run_one(name, || {
                 crate::ckpt::run();
+            }),
+            "tile" => run_one(name, || {
+                crate::tile::run();
             }),
             "ranks" => run_one(name, || {
                 crate::ranks::run();

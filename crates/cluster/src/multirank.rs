@@ -42,7 +42,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use vpic_core::accumulate::SLOTS;
 use vpic_core::push::PushStats;
 use vpic_core::sim::LaserDriver;
-use vpic_core::{Grid, ParticleRecord, Simulation};
+use vpic_core::{Grid, ParticleRecord, Simulation, TuneDriver};
 
 /// Bytes shipped per migrating particle: the 32-byte phase-space record
 /// plus the 8-byte global id that keeps gather order canonical.
@@ -342,6 +342,46 @@ impl MultiRankSim {
         self.ranks.iter().map(|r| r.sim.particle_count()).collect()
     }
 
+    // ── Per-rank tuning ────────────────────────────────────────────────
+    //
+    // Heterogeneous systems want heterogeneous configurations: a GPU
+    // rank and a CPU rank pick different strategies and scatter modes.
+    // Every per-rank knob is bit-safe — all strategies walk one IEEE op
+    // tree, deposits are order-independent fixed-point adds, and the
+    // gather reassembles canonical order by id — so ranks may diverge in
+    // configuration while the gathered state stays bit-identical to the
+    // single-rank run.
+
+    /// Apply a fixed tuner configuration to one rank's simulation.
+    /// Tiled arms are rejected: decomposed stepping drives untiled
+    /// ranks (see [`Simulation::begin_step`]).
+    pub fn set_rank_config(&mut self, rank: usize, cfg: &tuner::Config) {
+        assert!(cfg.tile.is_none(), "decomposed stepping drives untiled ranks");
+        self.ranks[rank].sim.apply_tune_config(cfg, 1);
+    }
+
+    /// Arm one rank with its own adaptive tuner. The driver brackets the
+    /// rank's push phase each step (epoch scoring measures the phase-A
+    /// wall), and rides the rank simulation's checkpoint, so a restored
+    /// cluster resumes every rank's schedule. Arms must be untiled.
+    pub fn set_rank_tuner(&mut self, rank: usize, driver: TuneDriver) {
+        assert!(
+            driver.tuner().state().arms.iter().all(|a| a.tile.is_none()),
+            "decomposed stepping drives untiled ranks"
+        );
+        self.ranks[rank].sim.set_tuner(driver);
+    }
+
+    /// One rank's armed tuning driver, if any.
+    pub fn rank_tuner(&self, rank: usize) -> Option<&TuneDriver> {
+        self.ranks[rank].sim.tuner()
+    }
+
+    /// Disarm and return one rank's tuning driver.
+    pub fn take_rank_tuner(&mut self, rank: usize) -> Option<TuneDriver> {
+        self.ranks[rank].sim.take_tuner()
+    }
+
     /// Advance one lockstep multi-rank step.
     pub fn step(&mut self) -> (PushStats, MigrationStats, StepTiming) {
         let n = self.ranks.len();
@@ -379,7 +419,18 @@ impl MultiRankSim {
             let t0 = telemetry::now_ns();
             outbox.clear();
             let st = &mut self.ranks[r];
+            // per-rank adaptive tuning brackets the push phase; config
+            // swaps happen only here, never inside the step
+            let mut driver = st.sim.take_tuner();
+            if let Some(d) = &mut driver {
+                d.before_step(&mut st.sim, 1);
+            }
             let stats = st.sim.begin_step();
+            if let Some(mut d) = driver {
+                let push_ns = telemetry::now_ns().saturating_sub(t0);
+                d.after_step(&stats, push_ns, 0, false);
+                st.sim.set_tuner(d);
+            }
             push.pushed += stats.pushed;
             push.crossings += stats.crossings;
             mig.total += st.sim.particle_count();
@@ -1324,6 +1375,90 @@ mod tests {
             "interior compute must hide ≥50% of modeled exchange: {}",
             t.hidden_fraction()
         );
+    }
+
+    #[test]
+    fn heterogeneous_rank_configs_stay_bit_identical() {
+        use pk::atomic::ScatterMode;
+        use vsimd::Strategy;
+        let mut reference = Deck::weibel(8, 8, 8, 4, 0.3).build();
+        let mut mr = MultiRankSim::new(&reference, 4, net());
+        // every rank picks a different (strategy, scatter) pair — the
+        // heterogeneous-system configuration the paper targets
+        let picks = [
+            (Strategy::Manual, ScatterMode::Duplicated),
+            (Strategy::AdHoc, ScatterMode::Atomic),
+            (Strategy::Guided, ScatterMode::Duplicated),
+            (Strategy::Auto, ScatterMode::Atomic),
+        ];
+        for (r, &(strategy, scatter)) in picks.iter().enumerate() {
+            mr.set_rank_config(r, &tuner::Config::unsorted(strategy, scatter));
+        }
+        for step in 1..=6 {
+            reference.step();
+            mr.step();
+            assert_state_eq(
+                &mr.gather(),
+                &reference,
+                &format!("heterogeneous configs, step {step}"),
+            );
+        }
+    }
+
+    #[test]
+    fn per_rank_tuners_explore_without_perturbing_physics() {
+        use pk::atomic::ScatterMode;
+        use tuner::{Config, Tuner};
+        use vpic_core::TuneDriver;
+        use vsimd::Strategy;
+        let mut reference = Deck::weibel(8, 8, 8, 4, 0.3).build();
+        let mut mr = MultiRankSim::new(&reference, 2, net());
+        // different arm sets per rank, 2-step epochs: both ranks swap
+        // configurations mid-run on their own schedules
+        mr.set_rank_tuner(
+            0,
+            TuneDriver::new(Tuner::new(
+                vec![
+                    Config::unsorted(Strategy::Manual, ScatterMode::Duplicated),
+                    Config::unsorted(Strategy::AdHoc, ScatterMode::Atomic),
+                ],
+                2,
+            )),
+        );
+        mr.set_rank_tuner(
+            1,
+            TuneDriver::new(Tuner::new(
+                vec![
+                    Config::unsorted(Strategy::Guided, ScatterMode::Atomic),
+                    Config::unsorted(Strategy::Auto, ScatterMode::Duplicated),
+                ],
+                2,
+            )),
+        );
+        for step in 1..=8 {
+            reference.step();
+            mr.step();
+            assert_state_eq(&mr.gather(), &reference, &format!("per-rank tuners, step {step}"));
+        }
+        for r in 0..2 {
+            let d = mr.rank_tuner(r).expect("driver still armed");
+            assert!(d.epochs() >= 2, "rank {r} closed {} epochs", d.epochs());
+            assert!(!d.schedule().is_empty(), "rank {r} never applied an arm");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "untiled ranks")]
+    fn tiled_rank_configs_are_rejected() {
+        use pk::atomic::ScatterMode;
+        use vsimd::Strategy;
+        let reference = Deck::weibel(8, 8, 8, 2, 0.3).build();
+        let mut mr = MultiRankSim::new(&reference, 2, net());
+        let cfg = tuner::Config {
+            tile: Some(tuner::TileCfg { tile_cells: 64, compress: true }),
+            ..tuner::Config::unsorted(Strategy::Auto, ScatterMode::Atomic)
+        };
+        mr.set_rank_config(0, &cfg);
     }
 
     #[test]

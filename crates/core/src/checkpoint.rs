@@ -35,7 +35,7 @@ use ckpt::{RestoreError, SectionBuf, SectionReader, Snapshot, Writer};
 use pk::atomic::ScatterMode;
 use pk::{DispatchPanic, ExecSpace, Serial};
 use psort::SortOrder;
-use tuner::{Config, Phase, TunerState};
+use tuner::{Config, Phase, TileCfg, TunerState};
 use vsimd::Strategy;
 
 /// A step failed in a recoverable way. The simulation state is
@@ -145,6 +145,14 @@ fn put_config(b: &mut SectionBuf, c: &Config) {
     b.put_usize(c.interval);
     b.put_u8(strategy_tag(c.strategy));
     b.put_u8(scatter_tag(c.scatter));
+    match c.tile {
+        None => b.put_bool(false),
+        Some(t) => {
+            b.put_bool(true);
+            b.put_usize(t.tile_cells);
+            b.put_bool(t.compress);
+        }
+    }
 }
 
 fn get_config(r: &mut SectionReader<'_>) -> Result<Config, RestoreError> {
@@ -153,6 +161,11 @@ fn get_config(r: &mut SectionReader<'_>) -> Result<Config, RestoreError> {
         interval: r.get_usize()?,
         strategy: strategy_from(r.get_u8()?)?,
         scatter: scatter_from(r.get_u8()?)?,
+        tile: if r.get_bool()? {
+            Some(TileCfg { tile_cells: r.get_usize()?, compress: r.get_bool()? })
+        } else {
+            None
+        },
     })
 }
 
@@ -279,6 +292,10 @@ fn get_driver_state(r: &mut SectionReader<'_>) -> Result<DriverState, RestoreErr
 impl Simulation {
     /// Build the checkpoint container for the current state.
     pub fn checkpoint_writer(&self) -> Writer {
+        assert!(
+            self.tiling.is_none(),
+            "checkpointing needs the canonical particle layout: disable_tiling() first"
+        );
         let mut w = Writer::new();
 
         let g = w.section("grid");
@@ -697,11 +714,15 @@ mod tests {
                 interval: 5,
                 strategy: Strategy::Auto,
                 scatter: ScatterMode::Atomic,
+                tile: Some(TileCfg { tile_cells: 256, compress: true }),
             },
         ];
         let mut sim = weibel();
         sim.set_tuner(TuneDriver::new(Tuner::new(arms, 3)));
-        sim.run(5);
+        // stop inside the first epoch: the tiled arm must round-trip
+        // through the codec without ever being applied (checkpointing
+        // requires the canonical untiled layout)
+        sim.run(2);
         let bytes = sim.checkpoint_bytes();
         let restored = Simulation::restore_bytes(&bytes).expect("restore");
         let a = sim.tuner().expect("original armed").state();

@@ -36,6 +36,7 @@ pub mod interp;
 pub mod push;
 pub mod sim;
 pub mod species;
+pub mod tile;
 pub mod tune;
 
 pub use checkpoint::StepError;
@@ -45,4 +46,5 @@ pub use grid::{Grid, StencilSide};
 pub use interp::{load_interpolators, load_interpolators_into, Interpolator, InterpolatorArray};
 pub use sim::Simulation;
 pub use species::{ParticleRecord, Species};
+pub use tile::{TileEngine, TilePolicy, TileStats};
 pub use tune::TuneDriver;

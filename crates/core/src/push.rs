@@ -499,7 +499,10 @@ fn push_manual(
         let tx = h * bx * gi;
         let ty = h * by * gi;
         let tz = h * bz * gi;
-        let sfac = two / (one + tx * tx + ty * ty + tz * tz);
+        // sum t² first (same association as scalar `boris`) so every
+        // strategy walks one IEEE op tree and stays bit-identical
+        let t2 = tx * tx + ty * ty + tz * tz;
+        let sfac = two / (one + t2);
         let vx = ux + (uy * tz - uz * ty);
         let vy = uy + (uz * tx - ux * tz);
         let vz = uz + (ux * ty - uy * tx);
@@ -792,6 +795,53 @@ mod tests {
                 assert_eq!(s.cell[i], reference.cell[i], "{strat}: cell diverged at {i}");
             }
             assert!(max_du < 2e-5, "{strat}: momentum divergence {max_du}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_are_bitwise_identical() {
+        // Every strategy walks the same IEEE op tree per particle (the
+        // vector kernels use exact lane ops and the scalar association),
+        // so trajectories are bit-equal — the property the tiled path
+        // and heterogeneous per-rank configs rely on.
+        let grid = Grid::new(6, 6, 6);
+        let mut f = FieldArray::new(grid.clone());
+        for v in 0..grid.cells() {
+            f.ex[v] = 0.003 * (v as f32 * 0.1).sin();
+            f.ey[v] = 0.002 * (v as f32 * 0.2).cos();
+            f.bz[v] = 0.1 + 0.01 * (v as f32 * 0.05).sin();
+        }
+        let interps = load_interpolators(&f);
+        let make = || {
+            let mut s = Species::new("e", -1.0, 1.0);
+            s.load_uniform(&grid, 1001, 0.2, (0.05, 0.0, 0.0), 1.0, 77);
+            s
+        };
+        let reference = {
+            let mut s = make();
+            let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+            for _ in 0..3 {
+                acc.reset();
+                push_species(Strategy::Auto, &grid, &mut s, &interps, &acc);
+            }
+            s
+        };
+        for strat in [Strategy::Guided, Strategy::Manual, Strategy::AdHoc] {
+            let mut s = make();
+            let acc = Accumulator::new(grid.cells(), 1, ScatterMode::Atomic);
+            for _ in 0..3 {
+                acc.reset();
+                push_species(strat, &grid, &mut s, &interps, &acc);
+            }
+            assert_eq!(s.cell, reference.cell, "{strat}");
+            for i in 0..s.len() {
+                assert_eq!(s.dx[i].to_bits(), reference.dx[i].to_bits(), "{strat} dx[{i}]");
+                assert_eq!(s.dy[i].to_bits(), reference.dy[i].to_bits(), "{strat} dy[{i}]");
+                assert_eq!(s.dz[i].to_bits(), reference.dz[i].to_bits(), "{strat} dz[{i}]");
+                assert_eq!(s.ux[i].to_bits(), reference.ux[i].to_bits(), "{strat} ux[{i}]");
+                assert_eq!(s.uy[i].to_bits(), reference.uy[i].to_bits(), "{strat} uy[{i}]");
+                assert_eq!(s.uz[i].to_bits(), reference.uz[i].to_bits(), "{strat} uz[{i}]");
+            }
         }
     }
 

@@ -13,6 +13,7 @@ use crate::grid::Grid;
 use crate::interp::{load_interpolators, load_interpolators_into, Interpolator, InterpolatorArray};
 use crate::push::{push_species_on, PushStats};
 use crate::species::Species;
+use crate::tile::{TileEngine, TilePolicy};
 use crate::tune::TuneDriver;
 use pk::atomic::ScatterMode;
 use pk::{ExecSpace, Serial};
@@ -75,6 +76,13 @@ pub struct Simulation {
     pub(crate) last_sort_ns: u64,
     /// Whether the last step's scheduled sort fired at all.
     pub(crate) last_sort_fired: bool,
+    /// The tiled stepping engine while tiling is enabled: the species'
+    /// particle arrays are empty and the engine owns the population as
+    /// compressed cell-range tiles (DESIGN §14).
+    pub(crate) tiling: Option<Box<TileEngine>>,
+    /// Pool/spill defaults applied when a tuner arm enables tiling (the
+    /// arm itself only carries tile size and compression).
+    pub(crate) tile_defaults: Option<TilePolicy>,
 }
 
 impl Simulation {
@@ -99,11 +107,14 @@ impl Simulation {
             tuner: None,
             last_sort_ns: 0,
             last_sort_fired: false,
+            tiling: None,
+            tile_defaults: None,
         }
     }
 
     /// Add a species, returning its index.
     pub fn add_species(&mut self, species: Species) -> usize {
+        assert!(self.tiling.is_none(), "disable_tiling() before adding species");
         debug_assert!(species.validate(&self.grid).is_ok());
         self.species.push(species);
         self.species.len() - 1
@@ -119,9 +130,10 @@ impl Simulation {
         self.step as f64 * self.grid.dt as f64
     }
 
-    /// Total particles across species.
+    /// Total particles across species (tiled or not).
     pub fn particle_count(&self) -> usize {
-        self.species.iter().map(|s| s.len()).sum()
+        self.species.iter().map(|s| s.len()).sum::<usize>()
+            + self.tiling.as_ref().map_or(0, |e| e.particle_count())
     }
 
     /// Compute fresh interpolators from the current fields.
@@ -157,6 +169,79 @@ impl Simulation {
         }
         self.sort_order = cfg.order;
         self.sort_interval = cfg.interval;
+        // tiling axis: re-tile (a deterministic untile + retile — ids
+        // are canonical, so the round trip is exact) only when the arm
+        // actually changes tile size or compression
+        match cfg.tile {
+            None => {
+                if self.tiling.is_some() {
+                    self.disable_tiling();
+                }
+            }
+            Some(tc) => {
+                let current = self
+                    .tiling
+                    .as_ref()
+                    .map(|e| (e.policy().tile_cells, e.policy().compress));
+                if current != Some((tc.tile_cells, tc.compress)) {
+                    if self.tiling.is_some() {
+                        self.disable_tiling();
+                    }
+                    let mut policy =
+                        self.tile_defaults.clone().unwrap_or_else(|| TilePolicy::new(tc.tile_cells));
+                    policy.tile_cells = tc.tile_cells.max(1);
+                    policy.compress = tc.compress;
+                    self.enable_tiling(policy);
+                }
+            }
+        }
+    }
+
+    // ── Tiled stepping (DESIGN §14) ────────────────────────────────────
+
+    /// Hand the particle population to a [`TileEngine`]: each species'
+    /// SoA is split into contiguous cell-range tiles (sorted by cell,
+    /// tagged with canonical ids) that live compressed — in RAM or
+    /// spilled under `policy.spill_dir` — except for a bounded hot
+    /// pool. Subsequent steps run the tiled execution path, which is
+    /// bit-identical to the untiled path for any tile size, pool size,
+    /// strategy, and worker count.
+    pub fn enable_tiling(&mut self, policy: TilePolicy) {
+        assert!(self.tiling.is_none(), "tiling already enabled");
+        let mut engine = Box::new(TileEngine::new(policy, self.grid.cells(), self.species.len()));
+        for (si, s) in self.species.iter_mut().enumerate() {
+            engine.load_species(si, s);
+        }
+        self.tiling = Some(engine);
+    }
+
+    /// Reassemble every species into canonical (id) order and drop the
+    /// engine. The result is exactly the array order an untiled,
+    /// sort-free run would have — energies, checkpoints, and bitwise
+    /// comparisons line up. No-op when tiling is off.
+    pub fn disable_tiling(&mut self) {
+        let Some(mut engine) = self.tiling.take() else { return };
+        for (si, s) in self.species.iter_mut().enumerate() {
+            engine.unload_species(si, s);
+        }
+    }
+
+    /// True while the tiled execution path is active.
+    pub fn is_tiled(&self) -> bool {
+        self.tiling.is_some()
+    }
+
+    /// The active tile engine, if any (residency stats, policy).
+    pub fn tile_engine(&self) -> Option<&TileEngine> {
+        self.tiling.as_deref()
+    }
+
+    /// Pool/spill defaults for tuner-driven tiling: when a tuner arm
+    /// carries a [`tuner::TileCfg`], [`Simulation::apply_tune_config`]
+    /// builds the policy from these defaults plus the arm's tile size
+    /// and compression flag.
+    pub fn set_tile_defaults(&mut self, policy: TilePolicy) {
+        self.tile_defaults = Some(policy);
     }
 
     /// Arm the adaptive tuner: from the next step on, `driver` measures
@@ -208,6 +293,9 @@ impl Simulation {
     }
 
     fn step_inner<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+        if self.tiling.is_some() {
+            return self.step_tiled(space);
+        }
         let _step_span =
             telemetry::hspan("sim.step").arg("step", self.step).arg("space", space.name());
         // periodic sort, as VPIC decks schedule it
@@ -252,6 +340,15 @@ impl Simulation {
         telemetry::count("sim.particles_pushed", stats.pushed as u64);
         telemetry::count("sim.cell_crossings", stats.crossings as u64);
         self.interp = interps;
+        self.unload_and_advance(space);
+        self.step += 1;
+        stats
+    }
+
+    /// The grid-side tail of a step — accumulator unload, laser drive,
+    /// and the leapfrog field advance — shared bit-for-bit by the
+    /// untiled and tiled paths.
+    fn unload_and_advance<S: ExecSpace>(&mut self, space: &S) {
         {
             let _s = telemetry::hspan("sim.accumulate");
             self.acc.unload_on(space, self.strategy, &mut self.fields);
@@ -274,6 +371,39 @@ impl Simulation {
             self.fields.advance_e_on(space, self.strategy);
             self.fields.advance_b_on(space, self.strategy, 0.5);
         }
+    }
+
+    /// The tiled step: identical physics to [`Simulation::step_inner`]
+    /// with the particle phase streamed tile-by-tile by the engine.
+    /// The scheduled global sort is skipped — every tile maintains its
+    /// own `(cell, id)` order, which is the tiled analogue of the
+    /// paper's sorted traversal.
+    fn step_tiled<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+        let _step_span = telemetry::hspan("sim.step")
+            .arg("step", self.step)
+            .arg("space", space.name())
+            .arg("tiled", 1u64);
+        self.last_sort_ns = 0;
+        self.last_sort_fired = false;
+        self.steps_since_sort = self.steps_since_sort.saturating_add(1);
+        let mut interps = std::mem::take(&mut self.interp);
+        {
+            let _s = telemetry::hspan("sim.interpolate");
+            load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
+        }
+        let mut engine = self.tiling.take().expect("step_tiled without engine");
+        let stats;
+        {
+            let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
+            self.fields.clear_j_on(space);
+            self.acc.reset();
+            stats = engine.step_all(space, self.strategy, &self.grid, &interps, &self.acc);
+        }
+        self.tiling = Some(engine);
+        telemetry::count("sim.particles_pushed", stats.pushed as u64);
+        telemetry::count("sim.cell_crossings", stats.crossings as u64);
+        self.interp = interps;
+        self.unload_and_advance(space);
         self.step += 1;
         stats
     }
@@ -295,7 +425,15 @@ impl Simulation {
     }
 
     /// Energy bookkeeping snapshot.
+    ///
+    /// The kinetic sums fold in array order, so the ledger is only
+    /// comparable across runs in canonical particle order — call
+    /// [`Simulation::disable_tiling`] first when tiled.
     pub fn energies(&self) -> EnergySnapshot {
+        assert!(
+            self.tiling.is_none(),
+            "energies() needs canonical particle order: disable_tiling() first"
+        );
         let _s = telemetry::span("sim.diagnostics");
         EnergySnapshot::capture(self)
     }
@@ -305,6 +443,10 @@ impl Simulation {
     /// (≈0 for neutral starts) instead of growing secularly.
     #[allow(clippy::needless_range_loop)] // voxel-indexed sweep matches the math
     pub fn gauss_residual(&self) -> f64 {
+        assert!(
+            self.tiling.is_none(),
+            "gauss_residual() reads the species arrays: disable_tiling() first"
+        );
         let g = &self.grid;
         let mut rho = vec![0.0f64; g.cells()];
         for s in &self.species {
@@ -368,6 +510,7 @@ impl Simulation {
     /// [`Simulation::step`] with sorting disabled (the cluster driver
     /// owns sort and exchange policy). Runs on the calling thread.
     pub fn begin_step(&mut self) -> PushStats {
+        assert!(self.tiling.is_none(), "decomposed stepping drives untiled ranks");
         let space = &Serial;
         let mut interps = std::mem::take(&mut self.interp);
         {

@@ -157,7 +157,11 @@ impl TuneDriver {
     /// Epoch bookkeeping before a step runs: on the first call, apply the
     /// first candidate; on epoch boundaries, score the finished epoch and
     /// apply whatever the tuner says to run next.
-    pub(crate) fn before_step(&mut self, sim: &mut Simulation, workers: usize) {
+    ///
+    /// Public so external steppers (e.g. the multi-rank driver, which
+    /// bypasses [`Simulation::step_on`]) can run their own per-rank
+    /// tuning loop with the same bookkeeping.
+    pub fn before_step(&mut self, sim: &mut Simulation, workers: usize) {
         if !self.started {
             self.started = true;
             let cfg = *self.tuner.current();
@@ -197,7 +201,7 @@ impl TuneDriver {
     }
 
     /// Fold one step's observations into the current epoch.
-    pub(crate) fn after_step(
+    pub fn after_step(
         &mut self,
         stats: &PushStats,
         step_ns: u64,
@@ -234,12 +238,14 @@ mod tests {
                 interval: 5,
                 strategy: Strategy::Auto,
                 scatter: ScatterMode::Atomic,
+                tile: None,
             },
             Config {
                 order: Some(SortOrder::Strided),
                 interval: 5,
                 strategy: Strategy::Manual,
                 scatter: ScatterMode::Atomic,
+                tile: None,
             },
         ]
     }

@@ -1,0 +1,97 @@
+//! Property tests: the codec is bitwise lossless for arbitrary input —
+//! including bit patterns a simulation never produces (NaN payloads,
+//! infinities, subnormals, `-0.0`) — in both raw and packed modes.
+
+use proptest::prelude::*;
+use ptile::{decode, encode, raw_size, TileData};
+
+/// Arbitrary f32 *bit patterns*, not values: `any::<u32>()` reinterpreted,
+/// so NaN payloads and subnormals are drawn with full probability.
+fn tile_from_words(cells: &[u32], words: &[u64], ids: &[u64]) -> TileData {
+    let n = cells.len().min(words.len() / 7).min(ids.len());
+    let mut t = TileData::default();
+    let mut cell = 0u32;
+    for i in 0..n {
+        // mostly-sorted cells with occasional jumps (post-migration shape)
+        cell = cell.wrapping_add(cells[i] % 5).wrapping_add(if cells[i].is_multiple_of(97) { 1000 } else { 0 });
+        t.cell.push(cell);
+        let w = &words[i * 7..i * 7 + 7];
+        t.dx.push(f32::from_bits(w[0] as u32));
+        t.dy.push(f32::from_bits(w[1] as u32));
+        t.dz.push(f32::from_bits(w[2] as u32));
+        t.ux.push(f32::from_bits(w[3] as u32));
+        t.uy.push(f32::from_bits(w[4] as u32));
+        t.uz.push(f32::from_bits(w[5] as u32));
+        t.w.push(f32::from_bits(w[6] as u32));
+        t.id.push(ids[i]);
+    }
+    t
+}
+
+fn assert_bits_eq(a: &TileData, b: &TileData) {
+    assert_eq!(a.cell, b.cell);
+    assert_eq!(a.id, b.id);
+    for (x, y) in [
+        (&a.dx, &b.dx),
+        (&a.dy, &b.dy),
+        (&a.dz, &b.dz),
+        (&a.ux, &b.ux),
+        (&a.uy, &b.uy),
+        (&a.uz, &b.uz),
+        (&a.w, &b.w),
+    ] {
+        let xb: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb);
+    }
+}
+
+proptest! {
+    /// Raw and packed encodings both round-trip any bit pattern exactly.
+    #[test]
+    fn codec_round_trip_is_bitwise_lossless(
+        cells in proptest::collection::vec(0u32..u32::MAX, 0..300),
+        words in proptest::collection::vec(0u64..u64::MAX, 0..2100),
+        ids in proptest::collection::vec(0u64..u64::MAX, 0..300),
+    ) {
+        let t = tile_from_words(&cells, &words, &ids);
+        for compress in [false, true] {
+            let blob = encode(&t, compress);
+            let back = decode(&blob).expect("well-formed blob must decode");
+            assert_bits_eq(&back, &t);
+        }
+    }
+
+    /// Truncating a blob anywhere is a typed error, never a wrong tile.
+    #[test]
+    fn truncation_never_decodes(
+        cells in proptest::collection::vec(0u32..u32::MAX, 1..100),
+        words in proptest::collection::vec(0u64..u64::MAX, 7..700),
+        ids in proptest::collection::vec(0u64..u64::MAX, 1..100),
+        frac in 0.0f64..1.0,
+    ) {
+        let t = tile_from_words(&cells, &words, &ids);
+        prop_assume!(!t.is_empty());
+        for compress in [false, true] {
+            let blob = encode(&t, compress);
+            let cut = ((blob.len() - 1) as f64 * frac) as usize;
+            prop_assert!(decode(&blob[..cut]).is_err(), "cut {cut}/{} decoded", blob.len());
+        }
+    }
+
+    /// Degenerate (constant) species compress hard and still round-trip.
+    #[test]
+    fn constant_tiles_compress(n in 64usize..1000, bits in 0u32..u32::MAX) {
+        let v = f32::from_bits(bits);
+        let mut t = TileData::default();
+        for i in 0..n {
+            t.cell.push(7);
+            t.dx.push(v); t.dy.push(v); t.dz.push(v);
+            t.ux.push(v); t.uy.push(v); t.uz.push(v); t.w.push(v);
+            t.id.push(i as u64);
+        }
+        let blob = encode(&t, true);
+        prop_assert!(blob.len() * 4 < raw_size(n), "{} vs raw {}", blob.len(), raw_size(n));
+        assert_bits_eq(&decode(&blob).unwrap(), &t);
+    }
+}

@@ -8,6 +8,18 @@ use vsimd::Strategy;
 /// typically sort every ~20 steps; 5 and 50 bracket it.
 pub const DEFAULT_INTERVALS: [usize; 3] = [5, 20, 50];
 
+/// Tiled-execution setting carried by an arm: the tile size the engine
+/// partitions cells into, and whether released tiles are compressed.
+/// Pool size and spill location stay host policy (the simulation's tile
+/// defaults), not search axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCfg {
+    /// Grid cells per tile.
+    pub tile_cells: usize,
+    /// Compress released tiles.
+    pub compress: bool,
+}
+
 /// One arm of the search: a complete setting of the paper's tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
@@ -25,17 +37,24 @@ pub struct Config {
     pub strategy: Strategy,
     /// Current-deposition scatter mode.
     pub scatter: ScatterMode,
+    /// Tiled execution: `Some` streams the step tile-by-tile at this
+    /// tile size / compression, `None` is the classic untiled path.
+    /// Safe to explore: the tiled path is bit-identical to untiled, so
+    /// swapping this mid-run never perturbs the physics. `order` and
+    /// `interval` are inert while tiled (tiles keep their own order).
+    pub tile: Option<TileCfg>,
 }
 
 impl Config {
     /// A conservative default arm: no sorting, portable strategy, atomic
     /// scatter.
     pub fn unsorted(strategy: Strategy, scatter: ScatterMode) -> Self {
-        Self { order: None, interval: 0, strategy, scatter }
+        Self { order: None, interval: 0, strategy, scatter, tile: None }
     }
 
     /// Compact human-readable label, used as the key in `results/tune.json`
-    /// (e.g. `"standard/i20/guided/atomic"` or `"unsorted/manual/dup"`).
+    /// (e.g. `"standard/i20/guided/atomic"`, `"unsorted/manual/dup"`, or
+    /// `"unsorted/auto/atomic/t512c"` for a 512-cell compressed-tile arm).
     pub fn label(&self) -> String {
         let strat = match self.strategy {
             Strategy::Auto => "auto",
@@ -47,11 +66,36 @@ impl Config {
             ScatterMode::Atomic => "atomic",
             ScatterMode::Duplicated => "dup",
         };
-        match self.order {
+        let base = match self.order {
             None => format!("unsorted/{strat}/{scatter}"),
             Some(o) => format!("{}/i{}/{strat}/{scatter}", o.name(), self.interval),
+        };
+        match self.tile {
+            None => base,
+            Some(t) => {
+                format!("{base}/t{}{}", t.tile_cells, if t.compress { "c" } else { "r" })
+            }
         }
     }
+}
+
+/// Expand `base` arms with tiled variants: for each base arm and each
+/// tile size, a compressed and an uncompressed tile arm. The returned
+/// vector keeps the untiled originals first, so an exhaustive sweep
+/// still covers the classic path.
+pub fn tile_arms(base: &[Config], tile_cells: &[usize]) -> Vec<Config> {
+    let mut arms: Vec<Config> = base.to_vec();
+    for cfg in base {
+        for &cells in tile_cells {
+            for compress in [true, false] {
+                arms.push(Config {
+                    tile: Some(TileCfg { tile_cells: cells, compress }),
+                    ..*cfg
+                });
+            }
+        }
+    }
+    arms
 }
 
 /// The full search space: {None, Standard, Strided, TiledStrided{tile}} ×
@@ -70,7 +114,13 @@ pub fn config_space(tile: usize, intervals: &[usize]) -> Vec<Config> {
             arms.push(Config::unsorted(strategy, scatter));
             for order in SortOrder::sorted_set(tile) {
                 for &interval in intervals {
-                    arms.push(Config { order: Some(order), interval, strategy, scatter });
+                    arms.push(Config {
+                        order: Some(order),
+                        interval,
+                        strategy,
+                        scatter,
+                        tile: None,
+                    });
                 }
             }
         }
@@ -105,11 +155,37 @@ mod tests {
             interval: 20,
             strategy: Strategy::Guided,
             scatter: ScatterMode::Atomic,
+            tile: None,
         };
         assert_eq!(c.label(), "standard/i20/guided/atomic");
         assert_eq!(
             Config::unsorted(Strategy::Manual, ScatterMode::Duplicated).label(),
             "unsorted/manual/dup"
         );
+        assert_eq!(
+            Config {
+                tile: Some(TileCfg { tile_cells: 512, compress: true }),
+                ..Config::unsorted(Strategy::Auto, ScatterMode::Atomic)
+            }
+            .label(),
+            "unsorted/auto/atomic/t512c"
+        );
+    }
+
+    #[test]
+    fn tile_arms_expand_each_base_by_size_and_compression() {
+        let base = [
+            Config::unsorted(Strategy::Auto, ScatterMode::Atomic),
+            Config::unsorted(Strategy::Manual, ScatterMode::Duplicated),
+        ];
+        let arms = tile_arms(&base, &[256, 1024]);
+        // 2 untiled originals + 2 bases × 2 sizes × {compressed, raw}
+        assert_eq!(arms.len(), 2 + 2 * 2 * 2);
+        assert_eq!(&arms[..2], &base);
+        assert!(arms[2..].iter().all(|a| a.tile.is_some()));
+        let mut labels: Vec<String> = arms.iter().map(Config::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), arms.len());
     }
 }

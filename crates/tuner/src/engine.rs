@@ -369,7 +369,7 @@ mod tests {
     use vsimd::Strategy;
 
     fn arm(order: Option<SortOrder>, interval: usize) -> Config {
-        Config { order, interval, strategy: Strategy::Auto, scatter: ScatterMode::Atomic }
+        Config { order, interval, strategy: Strategy::Auto, scatter: ScatterMode::Atomic, tile: None }
     }
 
     /// Deterministic synthetic epoch: `ns_per_step` of push plus one

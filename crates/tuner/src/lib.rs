@@ -35,6 +35,6 @@ pub mod engine;
 pub mod measure;
 pub mod prior;
 
-pub use config::{config_space, Config, DEFAULT_INTERVALS};
+pub use config::{config_space, tile_arms, Config, TileCfg, DEFAULT_INTERVALS};
 pub use engine::{Phase, Tuner, TunerState};
 pub use measure::Measurement;

@@ -19,6 +19,29 @@ pub fn prefer_unsorted(platform: &Platform, cells: usize) -> bool {
     memsim::push::grid_fits_llc(platform, cells)
 }
 
+/// Particle-bytes-aware variant of [`prefer_unsorted`]: counts the
+/// resident particle records alongside the grid's per-cell data, so a
+/// cache-sized grid drowning in particles still reads as out-of-cache
+/// (and the tuner keeps the sorted and tiled arms in play).
+pub fn prefer_unsorted_with_particles(
+    platform: &Platform,
+    cells: usize,
+    particles: usize,
+) -> bool {
+    memsim::push::fits_llc_with_particles(platform, cells, particles)
+}
+
+/// The platform-derived tile-size axis for the tuner's tiled arms: the
+/// LLC-sized tile from [`memsim::push::llc_tile_cells`] bracketed by
+/// half and double, deduplicated. Feed the result to
+/// [`crate::config::tile_arms`].
+pub fn tile_cells_axis(platform: &Platform, ppc: usize) -> Vec<usize> {
+    let t = memsim::push::llc_tile_cells(platform, ppc);
+    let mut axis = vec![(t / 2).max(1), t, t * 2];
+    axis.dedup();
+    axis
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,6 +61,42 @@ mod tests {
         let a100 = by_name("A100").unwrap();
         assert!(prefer_unsorted(&a100, 44 * 44 * 44));
         assert!(!prefer_unsorted(&a100, 64 * 64 * 64));
+    }
+
+    #[test]
+    fn particle_aware_prior_matches_table1_platforms() {
+        // V100: the Fig 9 peak grid fits bare but not at 64 ppc
+        let v100 = by_name("V100").unwrap();
+        assert!(prefer_unsorted_with_particles(&v100, 13_824, 0));
+        assert!(!prefer_unsorted_with_particles(&v100, 13_824, 64 * 13_824));
+        // EPYC 7763 (256 MB L3): same population stays resident
+        let milan = by_name("EPYC 7763").unwrap();
+        assert!(prefer_unsorted_with_particles(&milan, 13_824, 64 * 13_824));
+        // zero particles degenerates to the grid-only prior
+        for p in [&v100, &milan] {
+            for cells in [1_000usize, 13_824, 500_000] {
+                assert_eq!(
+                    prefer_unsorted_with_particles(p, cells, 0),
+                    prefer_unsorted(p, cells)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_axis_brackets_the_llc_tile_and_feeds_tile_arms() {
+        let v100 = by_name("V100").unwrap();
+        let axis = tile_cells_axis(&v100, 4);
+        let t = memsim::push::llc_tile_cells(&v100, 4);
+        assert_eq!(axis, vec![t / 2, t, t * 2]);
+        let base = [crate::Config::unsorted(
+            vsimd::Strategy::Auto,
+            pk::atomic::ScatterMode::Atomic,
+        )];
+        let arms = crate::tile_arms(&base, &axis);
+        // 1 untiled + 3 sizes × {compressed, raw}
+        assert_eq!(arms.len(), 1 + 3 * 2);
+        assert!(arms[1..].iter().all(|a| a.tile.is_some()));
     }
 
     #[test]

@@ -28,18 +28,21 @@ fn arms() -> Vec<Config> {
             interval: 5,
             strategy: VecStrategy::Guided,
             scatter: ScatterMode::Atomic,
+            tile: None,
         },
         Config {
             order: Some(SortOrder::TiledStrided { tile: 8 }),
             interval: 3,
             strategy: VecStrategy::Manual,
             scatter: ScatterMode::Duplicated,
+            tile: None,
         },
         Config {
             order: Some(SortOrder::Strided),
             interval: 5,
             strategy: VecStrategy::AdHoc,
             scatter: ScatterMode::Atomic,
+            tile: None,
         },
     ]
 }

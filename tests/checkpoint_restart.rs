@@ -230,12 +230,14 @@ fn tuner_armed_resume_continues_the_schedule_exactly() {
             interval: 4,
             strategy: VecStrategy::Guided,
             scatter: ScatterMode::Atomic,
+            tile: None,
         },
         Config {
             order: Some(SortOrder::Strided),
             interval: 3,
             strategy: VecStrategy::Manual,
             scatter: ScatterMode::Atomic,
+            tile: None,
         },
     ];
     let epoch = 3;
