@@ -26,6 +26,10 @@
 //!   tile              out-of-core tiled stepping: capacity ratio vs the
 //!                     hot-pool budget, codec ratio, pushes/s, bit-stable
 //!                     ledger (TILE_STEPS / TILE_GRID / TILE_PPC)
+//!   serve             multi-tenant serving: jobs/s + p95 step latency
+//!                     under 100+ concurrent preempted tenants
+//!                     (SERVE_TENANTS / SERVE_STEPS / SERVE_QUANTUM /
+//!                     SERVE_RESIDENT)
 //!   ablate-tile       tiled-strided tile-size sweep (A100)
 //!   ablate-gpu-aware  Sierra with GPU-aware MPI forced on
 //!   ablate-weak       weak scaling on all three systems
@@ -78,6 +82,7 @@ fn run_target(name: &str) -> bool {
         "field" => bench::save_json("field", &bench::field::run()),
         "tune" => bench::save_json("tune", &bench::tune::run()),
         "tile" => bench::save_json("tile", &bench::tile::run()),
+        "serve" => bench::save_json("serve", &bench::serve::run()),
         "suite" => bench::save_json("BENCH", &bench::suite::run()),
         other => {
             eprintln!("unknown target: {other}");

@@ -74,8 +74,8 @@ pub struct BenchReport {
 
 /// The fast measured targets the suite runs, in order. `tune` runs with
 /// short budgets (see [`run`]) so the whole suite stays CI-sized.
-pub const SUITE_TARGETS: [&str; 7] =
-    ["dispatch", "push", "field", "tune", "ckpt", "tile", "ranks"];
+pub const SUITE_TARGETS: [&str; 8] =
+    ["dispatch", "push", "field", "tune", "ckpt", "tile", "ranks", "serve"];
 
 fn git_rev() -> String {
     if let Ok(rev) = std::env::var("BENCH_GIT_REV") {
@@ -144,6 +144,8 @@ pub fn run() -> BenchReport {
     default_env("TUNE_EPOCH_STEPS", "6");
     default_env("TUNE_SWEEP_STEPS", "20");
     default_env("TILE_STEPS", "10");
+    default_env("SERVE_TENANTS", "120");
+    default_env("SERVE_STEPS", "6");
 
     let was_enabled = telemetry::enabled();
     telemetry::set_enabled(true);
@@ -172,6 +174,9 @@ pub fn run() -> BenchReport {
             }),
             "ranks" => run_one(name, || {
                 crate::ranks::run();
+            }),
+            "serve" => run_one(name, || {
+                crate::serve::run();
             }),
             other => unreachable!("suite target {other} not wired"),
         };

@@ -884,7 +884,7 @@ impl MultiRankSim {
     /// per-rank simulation, and the particle identity maps — into the
     /// `ckpt` container. Migration buffers are between-step-empty derived
     /// state and are not carried.
-    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
         let mut w = Writer::new();
         {
             let m = w.section("cluster.meta");
@@ -904,7 +904,7 @@ impl MultiRankSim {
                 m.put_f32(l.omega);
             }
         }
-        for (r, st) in self.ranks.iter().enumerate() {
+        for (r, st) in self.ranks.iter_mut().enumerate() {
             w.section(&format!("rank{r}.sim")).put_raw(&st.sim.checkpoint_bytes());
             let ids = w.section(&format!("rank{r}.ids"));
             ids.put_usize(st.ids.len());

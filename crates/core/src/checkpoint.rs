@@ -30,6 +30,7 @@ use crate::grid::Grid;
 use crate::push::PushStats;
 use crate::sim::{LaserDriver, Simulation};
 use crate::species::Species;
+use crate::tile::TilePolicy;
 use crate::tune::{DriverState, ScheduleEntry, TuneDriver};
 use ckpt::{RestoreError, SectionBuf, SectionReader, Snapshot, Writer};
 use pk::atomic::ScatterMode;
@@ -49,6 +50,12 @@ pub enum StepError {
         /// How many lanes died.
         panicked_lanes: usize,
     },
+    /// The simulation claims to be tiled but its [`crate::TileEngine`]
+    /// is gone — a torn tiling invariant from a malformed or
+    /// half-applied configuration. The particle population may be
+    /// unreachable; discard the simulation and restore from the last
+    /// good checkpoint.
+    TileEngineMissing,
 }
 
 impl std::fmt::Display for StepError {
@@ -56,6 +63,9 @@ impl std::fmt::Display for StepError {
         match self {
             Self::WorkerPanic { panicked_lanes } => {
                 write!(f, "step aborted: {panicked_lanes} worker lane(s) panicked")
+            }
+            Self::TileEngineMissing => {
+                write!(f, "step aborted: simulation is tiled but the tile engine is missing")
             }
         }
     }
@@ -291,11 +301,43 @@ fn get_driver_state(r: &mut SectionReader<'_>) -> Result<DriverState, RestoreErr
 
 impl Simulation {
     /// Build the checkpoint container for the current state.
-    pub fn checkpoint_writer(&self) -> Writer {
-        assert!(
-            self.tiling.is_none(),
-            "checkpointing needs the canonical particle layout: disable_tiling() first"
-        );
+    ///
+    /// Tiled simulations are handled transparently: the engine is
+    /// drained into the canonical particle layout (an exact round trip —
+    /// ids are canonical, so untile→retile is bit-lossless), the
+    /// snapshot is taken untiled, the tile policy is recorded in a
+    /// `tiling` section, and tiling is re-enabled before returning.
+    /// [`Simulation::restore_from_snapshot`] re-enables tiling from the
+    /// recorded policy, so a preempted tiled job resumes tiled.
+    pub fn checkpoint_writer(&mut self) -> Writer {
+        let tile_policy = self.tile_engine().map(|e| e.policy().clone());
+        if tile_policy.is_some() {
+            let _s = telemetry::span("ckpt.untile").arg("step", self.step);
+            self.disable_tiling();
+        }
+        let mut w = self.checkpoint_writer_canonical();
+        if let Some(policy) = tile_policy {
+            let t = w.section("tiling");
+            t.put_usize(policy.tile_cells);
+            t.put_bool(policy.compress);
+            t.put_usize(policy.max_hot);
+            match &policy.spill_dir {
+                None => t.put_bool(false),
+                Some(dir) => {
+                    t.put_bool(true);
+                    t.put_str(&dir.to_string_lossy());
+                }
+            }
+            let _s = telemetry::span("ckpt.retile").arg("step", self.step);
+            self.enable_tiling(policy);
+        }
+        w
+    }
+
+    /// The checkpoint container for a simulation already in canonical
+    /// (untiled) particle layout.
+    fn checkpoint_writer_canonical(&self) -> Writer {
+        debug_assert!(self.tiling.is_none(), "canonical writer needs the untiled layout");
         let mut w = Writer::new();
 
         let g = w.section("grid");
@@ -379,7 +421,7 @@ impl Simulation {
 
     /// Serialize the checkpoint into `w`; returns bytes written. Counts
     /// `ckpt.bytes_written` and records a `ckpt.write` span.
-    pub fn checkpoint<W: Write>(&self, w: &mut W) -> std::io::Result<u64> {
+    pub fn checkpoint<W: Write>(&mut self, w: &mut W) -> std::io::Result<u64> {
         let _s = telemetry::span("ckpt.write").arg("step", self.step);
         let bytes = self.checkpoint_writer().write_to(w)?;
         telemetry::count("ckpt.bytes_written", bytes);
@@ -387,7 +429,7 @@ impl Simulation {
     }
 
     /// The checkpoint as an owned byte buffer.
-    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
         let mut out = Vec::new();
         self.checkpoint(&mut out).expect("writing to a Vec cannot fail");
         out
@@ -396,7 +438,7 @@ impl Simulation {
     /// Write the checkpoint to `path` atomically (temp file + fsync +
     /// rename), rotating any existing snapshot to `<path>.prev` so a
     /// crash mid-write always leaves one good snapshot behind.
-    pub fn checkpoint_to(&self, path: &Path) -> std::io::Result<u64> {
+    pub fn checkpoint_to(&mut self, path: &Path) -> std::io::Result<u64> {
         let _s = telemetry::span("ckpt.write").arg("step", self.step);
         let bytes = ckpt::save_atomic(path, &self.checkpoint_writer())?;
         telemetry::count("ckpt.bytes_written", bytes);
@@ -618,6 +660,28 @@ impl Simulation {
             ));
         }
 
+        // re-enable tiling last: the sections above (species arrays,
+        // energy cross-check) all read the canonical layout, and
+        // retiling is an exact, deterministic round trip
+        if snap.has_section("tiling") {
+            let mut t = snap.section("tiling")?;
+            let tile_cells = t.get_usize()?;
+            let compress = t.get_bool()?;
+            let max_hot = t.get_usize()?;
+            let spill_dir = if t.get_bool()? {
+                Some(std::path::PathBuf::from(t.get_str()?))
+            } else {
+                None
+            };
+            t.finish()?;
+            if tile_cells == 0 || max_hot == 0 {
+                return Err(RestoreError::SchemaDrift(
+                    "tiling policy with zero tile_cells or max_hot".into(),
+                ));
+            }
+            sim.enable_tiling(TilePolicy { tile_cells, compress, max_hot, spill_dir });
+        }
+
         Ok(sim)
     }
 
@@ -629,8 +693,8 @@ impl Simulation {
     /// `Err` the step was torn mid-flight and the simulation state is
     /// unspecified: restore from the last checkpoint.
     pub fn try_step_on<S: ExecSpace>(&mut self, space: &S) -> Result<PushStats, StepError> {
-        match catch_unwind(AssertUnwindSafe(|| self.step_on(space))) {
-            Ok(stats) => Ok(stats),
+        match catch_unwind(AssertUnwindSafe(|| self.step_on_checked(space))) {
+            Ok(result) => result,
             Err(payload) => match payload.downcast::<DispatchPanic>() {
                 Ok(dp) => {
                     // leave post-mortem evidence: the flight recorder holds
@@ -728,6 +792,53 @@ mod tests {
         let a = sim.tuner().expect("original armed").state();
         let b = restored.tuner().expect("restored armed").state();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiled_checkpoint_is_transparent_and_resumes_tiled() {
+        use crate::tile::TilePolicy;
+        // uninterrupted tiled reference
+        let mut full = weibel();
+        full.enable_tiling(TilePolicy::new(16));
+        full.run(9);
+        full.disable_tiling();
+        // same run, checkpointed mid-flight while tiled
+        let mut half = weibel();
+        half.enable_tiling(TilePolicy::new(16));
+        half.run(4);
+        let bytes = half.checkpoint_bytes();
+        // the snapshot is transparent: the sim is still tiled and still
+        // steppable afterwards, bit-identically
+        assert!(half.is_tiled(), "checkpoint must retile transparently");
+        let mut resumed = Simulation::restore_bytes(&bytes).expect("tiled restore");
+        assert!(resumed.is_tiled(), "restore must re-enable tiling");
+        let p = resumed.tile_engine().unwrap().policy().clone();
+        assert_eq!((p.tile_cells, p.compress, p.max_hot), (16, true, 2));
+        half.run(5);
+        resumed.run(5);
+        half.disable_tiling();
+        resumed.disable_tiling();
+        assert_bit_identical(&full, &half);
+        assert_bit_identical(&full, &resumed);
+    }
+
+    #[test]
+    fn tiled_checkpoint_carries_the_spill_policy() {
+        use crate::tile::TilePolicy;
+        let dir = std::env::temp_dir().join(format!("vpic-ckpt-spill-{}", std::process::id()));
+        let mut sim = weibel();
+        let mut policy = TilePolicy::new(8);
+        policy.max_hot = 3;
+        policy.compress = false;
+        policy.spill_dir = Some(dir.clone());
+        sim.enable_tiling(policy.clone());
+        sim.run(2);
+        let bytes = sim.checkpoint_bytes();
+        drop(sim); // Drop sweeps this sim's spill files
+        let restored = Simulation::restore_bytes(&bytes).expect("restore");
+        assert_eq!(restored.tile_engine().unwrap().policy(), &policy);
+        drop(restored);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

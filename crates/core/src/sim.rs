@@ -208,6 +208,12 @@ impl Simulation {
     /// strategy, and worker count.
     pub fn enable_tiling(&mut self, policy: TilePolicy) {
         assert!(self.tiling.is_none(), "tiling already enabled");
+        if let Some(dir) = &policy.spill_dir {
+            // a checkpointed policy may restore on a host where the
+            // spill dir does not exist yet; a failure here surfaces at
+            // the first spill write, which reports the path
+            let _ = std::fs::create_dir_all(dir);
+        }
         let mut engine = Box::new(TileEngine::new(policy, self.grid.cells(), self.species.len()));
         for (si, s) in self.species.iter_mut().enumerate() {
             engine.load_species(si, s);
@@ -274,6 +280,21 @@ impl Simulation {
     /// via [`Simulation::configure_scatter`] with at least
     /// `space.concurrency()` workers.
     pub fn step_on<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+        // `step_on_checked` can only fail on a torn internal invariant
+        // (e.g. a tiled sim whose engine is gone); the infallible entry
+        // point keeps the historical contract by turning that into a
+        // panic, while servers use `try_step_on` for a typed error.
+        self.step_on_checked(space).unwrap_or_else(|e| panic!("step failed: {e}"))
+    }
+
+    /// [`Simulation::step_on`] with internal-invariant failures surfaced
+    /// as typed [`crate::StepError`]s instead of panics. Worker-lane
+    /// panics still unwind; [`Simulation::try_step_on`] adds the
+    /// catch-and-type layer for those.
+    pub(crate) fn step_on_checked<S: ExecSpace>(
+        &mut self,
+        space: &S,
+    ) -> Result<PushStats, crate::StepError> {
         // The tuner's epoch bookkeeping brackets the step *outside* the
         // `sim.step` span: spans only record on drop, so finalizing an
         // epoch here guarantees the previous step's span is already in
@@ -285,14 +306,14 @@ impl Simulation {
         let t0 = telemetry::now_ns();
         let stats = self.step_inner(space);
         let step_ns = telemetry::now_ns().saturating_sub(t0);
-        if let Some(d) = &mut driver {
-            d.after_step(&stats, step_ns, self.last_sort_ns, self.last_sort_fired);
+        if let (Some(d), Ok(stats)) = (&mut driver, &stats) {
+            d.after_step(stats, step_ns, self.last_sort_ns, self.last_sort_fired);
         }
         self.tuner = driver;
         stats
     }
 
-    fn step_inner<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+    fn step_inner<S: ExecSpace>(&mut self, space: &S) -> Result<PushStats, crate::StepError> {
         if self.tiling.is_some() {
             return self.step_tiled(space);
         }
@@ -342,7 +363,7 @@ impl Simulation {
         self.interp = interps;
         self.unload_and_advance(space);
         self.step += 1;
-        stats
+        Ok(stats)
     }
 
     /// The grid-side tail of a step — accumulator unload, laser drive,
@@ -378,7 +399,13 @@ impl Simulation {
     /// The scheduled global sort is skipped — every tile maintains its
     /// own `(cell, id)` order, which is the tiled analogue of the
     /// paper's sorted traversal.
-    fn step_tiled<S: ExecSpace>(&mut self, space: &S) -> PushStats {
+    fn step_tiled<S: ExecSpace>(&mut self, space: &S) -> Result<PushStats, crate::StepError> {
+        // a torn tiling invariant (engine gone while the sim still claims
+        // to be tiled — a malformed or half-applied job config) degrades
+        // to a typed error instead of killing a multi-tenant caller
+        let Some(mut engine) = self.tiling.take() else {
+            return Err(crate::StepError::TileEngineMissing);
+        };
         let _step_span = telemetry::hspan("sim.step")
             .arg("step", self.step)
             .arg("space", space.name())
@@ -391,7 +418,6 @@ impl Simulation {
             let _s = telemetry::hspan("sim.interpolate");
             load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
         }
-        let mut engine = self.tiling.take().expect("step_tiled without engine");
         let stats;
         {
             let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
@@ -405,7 +431,7 @@ impl Simulation {
         self.interp = interps;
         self.unload_and_advance(space);
         self.step += 1;
-        stats
+        Ok(stats)
     }
 
     /// Advance `n` steps.
@@ -711,6 +737,21 @@ mod tests {
             ((ea - eb) / ea).abs() < 1e-4,
             "threaded step diverged from serial: {ea} vs {eb}"
         );
+    }
+
+    #[test]
+    fn tiled_step_without_engine_is_a_typed_error_not_a_panic() {
+        // the torn-invariant path: a tiled step entered with no engine
+        // must degrade to a typed StepError (multi-tenant servers step
+        // malformed jobs through try_step_on and quarantine on Err)
+        let mut sim = neutral_pair_sim(4);
+        assert!(matches!(
+            sim.step_tiled(&Serial),
+            Err(crate::StepError::TileEngineMissing)
+        ));
+        // the sim is still steppable through the untiled path afterwards
+        let stats = sim.try_step().expect("untiled step succeeds");
+        assert!(stats.pushed > 0);
     }
 
     #[test]

@@ -412,6 +412,12 @@ impl TileEngine {
                 ptile::decode_into(r.take_rest(), &mut self.td)
                     .unwrap_or_else(|e| panic!("tile spill blob {path:?}: {e}"));
                 r.finish().unwrap_or_else(|e| panic!("tile spill trailer {path:?}: {e:?}"));
+                // a spill file is a single-read cache: the tile's truth is
+                // now in RAM, so the file is dead weight (and would go
+                // stale the moment the hot copy advances). Removing it
+                // here is what keeps the spill dir bounded by the *cold*
+                // population instead of by every tile ever evicted.
+                let _ = std::fs::remove_file(&path);
                 telemetry::hist!("tile.spill.read.ns", telemetry::now_ns().saturating_sub(t0));
                 self.stats.spill_reads += 1;
                 self.stats.spilled_bytes = self.stats.spilled_bytes.saturating_sub(bytes);
@@ -549,8 +555,9 @@ impl TileEngine {
         }
         for t in 0..self.tile_count {
             let state = std::mem::replace(&mut self.per_species[si].tiles[t].state, TileState::Empty);
-            let spilled = matches!(state, TileState::Spilled { .. });
             if !matches!(state, TileState::Hot(_) | TileState::Empty) {
+                // `load_td` also unlinks a spilled tile's file, so a full
+                // unload leaves the spill dir empty
                 self.load_td(si, t, state);
                 for i in 0..self.td.len() {
                     all.push((
@@ -567,9 +574,6 @@ impl TileEngine {
                         },
                     ));
                 }
-            }
-            if spilled {
-                let _ = std::fs::remove_file(self.spill_path(si, t));
             }
             let tile = &mut self.per_species[si].tiles[t];
             tile.count = 0;
@@ -673,6 +677,30 @@ impl TileEngine {
     }
 }
 
+/// Spill files are scratch, not durable state: an engine dropped without
+/// a full unload (a tiled `Simulation` going out of scope, a quarantined
+/// job being discarded) must not leave `.ptl` litter behind. Read-backs
+/// already unlink eagerly, so only tiles still in `Spilled` state — plus
+/// any `.tmp`/`.prev` siblings a crash-interrupted save staged — remain
+/// to sweep.
+impl Drop for TileEngine {
+    fn drop(&mut self) {
+        if self.policy.spill_dir.is_none() {
+            return;
+        }
+        for si in 0..self.per_species.len() {
+            for t in 0..self.tile_count {
+                if matches!(self.per_species[si].tiles[t].state, TileState::Spilled { .. }) {
+                    let path = self.spill_path(si, t);
+                    let _ = std::fs::remove_file(ckpt::file::tmp_path(&path));
+                    let _ = std::fs::remove_file(ckpt::file::prev_path(&path));
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +766,41 @@ mod tests {
         assert_eq!(engine.slots.len(), 2);
         assert!(engine.stats().evictions > 0, "more tiles than slots must evict");
         assert_eq!(engine.particle_count(), 2000, "no particle lost");
+    }
+
+    #[test]
+    fn spill_dir_is_clean_after_full_cycle_and_after_drop() {
+        let dir =
+            std::env::temp_dir().join(format!("ptile-leak-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let list = |tag: &str| -> Vec<String> {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| format!("{tag}: {:?}", e.unwrap().file_name()))
+                .collect()
+        };
+        let mut policy = TilePolicy::new(8);
+        policy.max_hot = 2;
+        policy.spill_dir = Some(dir.clone());
+        // enable → step → disable must leave the spill dir empty: every
+        // spilled tile is either read back (unlinked eagerly) or swept by
+        // the unload
+        let mut sim = crate::deck::Deck::weibel(4, 4, 4, 4, 0.3).build();
+        sim.enable_tiling(policy.clone());
+        sim.run(3);
+        assert!(sim.tile_engine().unwrap().stats().spill_writes > 0, "test must spill");
+        sim.disable_tiling();
+        let leftovers = list("after disable");
+        assert!(leftovers.is_empty(), "spill files leaked: {leftovers:?}");
+        // dropping a still-tiled simulation (quarantine/discard path)
+        // sweeps whatever is still spilled, including .prev/.tmp litter
+        let mut sim = crate::deck::Deck::weibel(4, 4, 4, 4, 0.3).build();
+        sim.enable_tiling(policy);
+        sim.run(2);
+        drop(sim);
+        let leftovers = list("after drop");
+        assert!(leftovers.is_empty(), "dropped engine leaked spill files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
