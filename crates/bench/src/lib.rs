@@ -23,6 +23,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gpu;
 pub mod push;
 pub mod ranks;
 pub mod regress;

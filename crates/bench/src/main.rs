@@ -15,6 +15,10 @@
 //!   all    everything above
 //!
 //!   ckpt              checkpoint/restore cost vs step cost, resume check
+//!   gpu               SimGpu one-sweep: per-platform sort-order costs,
+//!                     crossover vs the standalone model, tuner vs
+//!                     exhaustive, and all-platform rooflines
+//!                     (GPU_STEPS / GPU_WARMUP)
 //!   ranks             executed multi-rank stepping: speedup + overlap
 //!                     at 1/2/4/8 virtual ranks vs the closed-form model
 //!   dispatch          pooled-vs-spawn dispatch latency + push throughput
@@ -76,6 +80,7 @@ fn run_target(name: &str) -> bool {
         }
         "ablate-weak" => bench::save_json("ablate-weak", &bench::ablate::run_weak()),
         "ckpt" => bench::save_json("ckpt", &bench::ckpt::run()),
+        "gpu" => bench::save_json("gpu", &bench::gpu::run()),
         "ranks" => bench::save_json("ranks", &bench::ranks::run()),
         "dispatch" => bench::save_json("dispatch", &bench::dispatch::run()),
         "push" => bench::save_json("push", &bench::push::run()),
@@ -185,6 +190,8 @@ fn main() -> ExitCode {
     if targets.is_empty() || targets.iter().any(|a| a == "-h" || a == "--help") {
         println!(
             "usage: repro [--profile[=path]] <target>...   targets: {} all suite\n\
+             \x20      extra: ckpt gpu ranks dispatch push field tune tile serve \
+             ablate-tile ablate-gpu-aware ablate-weak\n\
              \x20      repro regress <base BENCH.json> <new BENCH.json> [--warn]\n\
              \x20      repro regress-selftest",
             TARGETS.join(" ")

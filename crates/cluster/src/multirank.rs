@@ -37,6 +37,8 @@ use crate::decompose::Decomposition;
 use crate::exchange::MigrationStats;
 use crate::network::NetworkModel;
 use ckpt::{RestoreError, Snapshot, Writer};
+use memsim::gpu::GpuModel;
+use memsim::push::{gpu_push, PushSpec};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use vpic_core::accumulate::SLOTS;
@@ -161,6 +163,13 @@ pub struct StepTiming {
     pub hidden_exchange_s: f64,
     /// Executed step time: max over ranks of compute + exposed, s.
     pub step_s: f64,
+    /// Largest per-rank *modeled GPU* compute time (push over the rank's
+    /// executed cell stream + field sweep, costed through the armed
+    /// [`GpuModel`]), s. Zero when no model is armed.
+    pub gpu_compute_s: f64,
+    /// Modeled GPU step time: max over ranks of modeled compute + exposed
+    /// exchange, s. Zero when no model is armed.
+    pub gpu_step_s: f64,
 }
 
 /// Accumulated timing over a run.
@@ -176,6 +185,8 @@ pub struct RunTiming {
     pub exposed_exchange_s: f64,
     /// Σ over ranks and steps of hidden exchange time, s.
     pub hidden_exchange_s: f64,
+    /// Σ per-step modeled GPU step time, s (zero when no model is armed).
+    pub gpu_step_s: f64,
 }
 
 impl RunTiming {
@@ -185,6 +196,7 @@ impl RunTiming {
         self.modeled_exchange_s += t.modeled_exchange_s;
         self.exposed_exchange_s += t.exposed_exchange_s;
         self.hidden_exchange_s += t.hidden_exchange_s;
+        self.gpu_step_s += t.gpu_step_s;
     }
 
     /// Mean executed step time, s.
@@ -219,6 +231,11 @@ pub struct MultiRankSim {
     /// Reusable per-rank incoming-migrant staging.
     incoming: Vec<Vec<Migrant>>,
     timing: RunTiming,
+    /// When armed, each step also charges per-rank compute through this
+    /// GPU cost model (over the *executed* per-rank cell streams), so the
+    /// paper's cache-driven superlinear regime shows up in the executed
+    /// loop. Not checkpointed — re-arm after a restore.
+    gpu: Option<GpuModel>,
 }
 
 fn secs(ns: u64) -> f64 {
@@ -319,6 +336,7 @@ impl MultiRankSim {
             mig_buffers: BTreeMap::new(),
             incoming,
             timing: RunTiming::default(),
+            gpu: None,
         }
     }
 
@@ -382,6 +400,33 @@ impl MultiRankSim {
         self.ranks[rank].sim.take_tuner()
     }
 
+    /// Arm a GPU cost model: every subsequent step also charges each
+    /// rank's compute (push over its executed particle cell stream, plus
+    /// a bandwidth-bound field sweep) through `model`, reported as
+    /// [`StepTiming::gpu_compute_s`] / [`StepTiming::gpu_step_s`]. The
+    /// functional physics is untouched. Not checkpointed — re-arm after
+    /// [`MultiRankSim::restore`].
+    pub fn set_gpu_model(&mut self, model: GpuModel) {
+        self.gpu = Some(model);
+    }
+
+    /// The armed GPU cost model, if any.
+    pub fn gpu_model(&self) -> Option<&GpuModel> {
+        self.gpu.as_ref()
+    }
+
+    /// Cells of one rank's local grid (halo shell included) — the grid
+    /// footprint the armed GPU model sees.
+    pub fn rank_grid_cells(&self, rank: usize) -> usize {
+        self.ranks[rank].sim.grid.cells()
+    }
+
+    /// Read access to one rank's local simulation (diagnostics: cost
+    /// models and tests inspect the executed per-rank streams).
+    pub fn rank_sim(&self, rank: usize) -> &Simulation {
+        &self.ranks[rank].sim
+    }
+
     /// Advance one lockstep multi-rank step.
     pub fn step(&mut self) -> (PushStats, MigrationStats, StepTiming) {
         let n = self.ranks.len();
@@ -408,6 +453,7 @@ impl MultiRankSim {
         let mut x_e = vec![0.0f64; n];
         let mut x_b2 = vec![0.0f64; n];
         let mut x_mig = vec![0.0f64; n];
+        let mut g_comp = vec![0.0f64; n];
         for buf in self.mig_buffers.values_mut() {
             buf.clear();
         }
@@ -424,6 +470,24 @@ impl MultiRankSim {
             let mut driver = st.sim.take_tuner();
             if let Some(d) = &mut driver {
                 d.before_step(&mut st.sim, 1);
+            }
+            // scheduled per-rank sort, the decomposed twin of the one in
+            // `step_on`. The reorder must happen here rather than inside
+            // `begin_step` because the id maps that track each particle's
+            // global load order are parallel to the SoA arrays and have
+            // to follow the same permutation — otherwise migration and
+            // gather would hand back the wrong identities. Sorting stays
+            // bit-safe: it permutes bit-identical records within a rank,
+            // so the gathered canonical-order state is unchanged (see the
+            // per-rank tuning contract above).
+            if let Some(order) = st.sim.consume_due_sort() {
+                for si in 0..st.sim.species.len() {
+                    if st.sim.species[si].sort(order) {
+                        let perm = st.sim.species[si].sort_perm();
+                        let old = std::mem::take(&mut st.ids[si]);
+                        st.ids[si] = perm.iter().map(|&p| old[p]).collect();
+                    }
+                }
             }
             let stats = st.sim.begin_step();
             if let Some(mut d) = driver {
@@ -491,6 +555,36 @@ impl MultiRankSim {
                 st.partials[i] = acc;
             }
             t_push[r] = secs(telemetry::now_ns().saturating_sub(t0));
+            // modeled GPU compute for this rank, over the *executed* cell
+            // stream (after t_push is closed, so model evaluation wall
+            // time never pollutes the executed measurements)
+            if let Some(model) = &self.gpu {
+                let sim = &self.ranks[r].sim;
+                let cells = sim.grid.cells();
+                // field sweep: ~100 B per cell, bandwidth-bound
+                let mut t = cells as f64 * 100.0 / model.platform().dram_bw;
+                // the deposition cost follows the rank's actual scatter
+                // mode: atomic deposition pays collision replays (the
+                // model's MLP-window hotness term), while duplicated
+                // deposition privatizes the accumulator — no atomics at
+                // all, but the replicas have to be reduced with one
+                // extra bandwidth-bound sweep over the grid
+                let atomic = matches!(sim.scatter_mode, pk::atomic::ScatterMode::Atomic);
+                for s in &sim.species {
+                    if !s.cell.is_empty() {
+                        let mut spec = PushSpec::vpic(&s.cell, cells);
+                        if !atomic {
+                            spec.atomic_ops = 0;
+                        }
+                        t += gpu_push(model, &spec).cost.time;
+                    }
+                }
+                if !atomic {
+                    t += 2.0 * memsim::push::grid_footprint_bytes(cells) as f64
+                        / model.platform().dram_bw;
+                }
+                g_comp[r] = t;
+            }
             // launch the accumulator exchange: one directed message per
             // remote link
             for link in &self.ranks[r].plan.links {
@@ -741,6 +835,10 @@ impl MultiRankSim {
             timing.exposed_exchange_s += exposed;
             timing.hidden_exchange_s += modeled - exposed;
             step_s = step_s.max(compute + exposed);
+            if self.gpu.is_some() {
+                timing.gpu_compute_s = timing.gpu_compute_s.max(g_comp[r]);
+                timing.gpu_step_s = timing.gpu_step_s.max(g_comp[r] + exposed);
+            }
             // per-rank exchange-overlap distributions: exposed is the tail
             // that actually extends the step, hidden is what the compute
             // window absorbed
@@ -987,6 +1085,7 @@ impl MultiRankSim {
             mig_buffers: BTreeMap::new(),
             incoming,
             timing: RunTiming::default(),
+            gpu: None,
         })
     }
 }
@@ -1316,6 +1415,79 @@ mod tests {
             mr.step();
         }
         assert_state_eq(&mr.gather(), &reference, "lpi 4 ranks");
+    }
+
+    #[test]
+    fn per_rank_scheduled_sort_fires_and_keeps_gather_bit_identical() {
+        let reference = Deck::weibel(8, 8, 8, 2, 0.3).build();
+        let mut plain = MultiRankSim::new(&reference, 4, net());
+        let mut sorted = MultiRankSim::new(&reference, 4, net());
+        let strided = tuner::Config {
+            order: Some(psort::SortOrder::Strided),
+            interval: 1,
+            strategy: vsimd::Strategy::Auto,
+            scatter: pk::atomic::ScatterMode::Duplicated,
+            tile: None,
+        };
+        for r in 0..4 {
+            sorted.set_rank_config(r, &strided);
+        }
+        let model = GpuModel::scaled(memsim::platform::by_name("V100").unwrap(), 6.0);
+        plain.set_gpu_model(model.clone());
+        sorted.set_gpu_model(model);
+        for step in 1..=3 {
+            let (_, _, tp) = plain.step();
+            let (_, _, ts) = sorted.step();
+            // the per-rank config reaches the cost model: duplicated
+            // deposition drops the atomic-replay floor, and the sorted
+            // in-cache gather stream is far cheaper than the unsorted
+            // atomic default on this tiny grid
+            assert!(
+                ts.gpu_compute_s < tp.gpu_compute_s,
+                "step {step}: sorted+duplicated {} !< plain atomic {}",
+                ts.gpu_compute_s,
+                tp.gpu_compute_s
+            );
+            // the scheduled per-rank sort actually reorders the streams…
+            let moved = (0..4).any(|r| {
+                sorted.ranks[r].sim.species.iter().zip(&plain.ranks[r].sim.species).any(
+                    |(ss, ps)| ss.cell != ps.cell,
+                )
+            });
+            assert!(moved, "step {step}: strided sort left every rank untouched");
+            // …while the id maps follow the permutation, so the gathered
+            // canonical-order state stays bit-identical
+            assert_state_eq(
+                &plain.gather(),
+                &sorted.gather(),
+                &format!("sorted step {step}"),
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_model_charges_timing_without_touching_physics() {
+        let reference = Deck::weibel(8, 8, 8, 2, 0.3).build();
+        let mut plain = MultiRankSim::new(&reference, 4, net());
+        let mut armed = MultiRankSim::new(&reference, 4, net());
+        armed.set_gpu_model(GpuModel::scaled(
+            memsim::platform::by_name("V100").unwrap(),
+            6.0,
+        ));
+        assert!(armed.gpu_model().is_some());
+        assert!(plain.gpu_model().is_none());
+        for step in 1..=3 {
+            let (_, _, tp) = plain.step();
+            let (_, _, ta) = armed.step();
+            // unarmed runs report zero GPU time; armed runs a real cost
+            assert_eq!(tp.gpu_compute_s, 0.0);
+            assert_eq!(tp.gpu_step_s, 0.0);
+            assert!(ta.gpu_compute_s > 0.0, "step {step}");
+            assert!(ta.gpu_step_s >= ta.gpu_compute_s);
+            assert_state_eq(&plain.gather(), &armed.gather(), &format!("step {step}"));
+        }
+        assert!(armed.timing().gpu_step_s > 0.0);
+        assert_eq!(plain.timing().gpu_step_s, 0.0);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use crate::decompose::Decomposition;
 use crate::systems::System;
 use memsim::gpu::GpuModel;
-use memsim::push::{grid_fits_llc, gpu_push, PushSpec, PARTICLE_BYTES};
+use memsim::platform::{Platform, PlatformKind};
+use memsim::push::{fits_llc_with_particles, grid_fits_llc, gpu_push, PushSpec, PARTICLE_BYTES};
 use psort::patterns::random_cells;
 use serde::Serialize;
 
@@ -64,6 +65,32 @@ impl ScalePoint {
     /// Speedup of this point relative to a baseline step time.
     pub fn speedup_vs(&self, baseline: &ScalePoint) -> f64 {
         baseline.step_time / self.step_time
+    }
+}
+
+/// Particle records resident in a GPU's LLC alongside the grid: one warp
+/// in flight per compute unit. This is the *occupancy window* that
+/// competes with grid data for cache, not the whole population (particles
+/// stream; the grid is the reused set). CPUs prefetch through their LLC
+/// rather than holding a fixed window, so they contribute zero here.
+pub fn resident_particles(platform: &Platform) -> usize {
+    match platform.kind {
+        PlatformKind::Gpu => platform.compute_units * platform.warp_width,
+        PlatformKind::Cpu => 0,
+    }
+}
+
+/// The in-cache predicate behind [`ScalePoint::grid_in_cache`]: on GPUs,
+/// the grid footprint *plus* the resident particle window must fit
+/// ([`memsim::push::fits_llc_with_particles`] — a grid that barely fits
+/// alone still thrashes once the occupancy window moves in); on CPUs the
+/// grid-only predicate, matching the live tuner's prior.
+pub fn local_grid_in_cache(platform: &Platform, local_cells: usize) -> bool {
+    match platform.kind {
+        PlatformKind::Gpu => {
+            fits_llc_with_particles(platform, local_cells, resident_particles(platform))
+        }
+        PlatformKind::Cpu => grid_fits_llc(platform, local_cells),
     }
 }
 
@@ -141,8 +168,9 @@ pub fn strong_scaling(
             field_time,
             comm_time,
             step_time,
-            // same footprint predicate the live tuner's cache prior uses
-            grid_in_cache: grid_fits_llc(&platform, local_cells),
+            // particle-aware on GPUs, grid-only on CPUs — shared with the
+            // live tuner's cache prior family
+            grid_in_cache: local_grid_in_cache(&platform, local_cells),
             pushes_per_ns: local_particles as f64 / (push_time * 1e9),
         });
     }
@@ -247,6 +275,41 @@ mod tests {
         assert!(!p1.grid_in_cache, "1 GPU: grid exceeds LLC");
         assert!(p8.grid_in_cache, "8 GPUs: grid fits LLC");
         assert!(p8.pushes_per_ns > p1.pushes_per_ns * 1.5);
+    }
+
+    #[test]
+    fn superlinear_knee_pinned_at_8_gpus_on_sierra() {
+        // regression pin for the particle-aware in-cache bit: the knee
+        // (first in-cache sweep point) must stay at 8 GPUs — drifting to
+        // 4 or 16 means the resident-particle window changed size
+        let sys = systems::sierra();
+        let pts = strong_scaling(&sys, paper_global_grid(&sys), 48);
+        let knee = pts.iter().find(|p| p.grid_in_cache).map(|p| p.gpus);
+        assert_eq!(knee, Some(8), "Sierra knee moved");
+        for p in &pts {
+            assert_eq!(p.grid_in_cache, p.gpus >= 8, "monotone at {} GPUs", p.gpus);
+        }
+    }
+
+    #[test]
+    fn gpu_in_cache_bit_counts_resident_particles() {
+        use memsim::platform::by_name;
+        use memsim::push::grid_footprint_bytes;
+        let v100 = by_name("V100").unwrap();
+        // V100: one warp per CU in flight, 64 B per record
+        assert_eq!(resident_particles(&v100), 80 * 32);
+        // boundary case: a grid that barely fits alone no longer fits
+        // once the 163,840 B occupancy window is charged
+        let cells = 14_400;
+        assert!(grid_footprint_bytes(cells) <= v100.llc_bytes);
+        assert!(grid_fits_llc(&v100, cells));
+        assert!(!local_grid_in_cache(&v100, cells));
+        // far smaller grids still read in-cache
+        assert!(local_grid_in_cache(&v100, 13_000));
+        // CPUs keep the grid-only predicate (and zero resident window)
+        let milan = by_name("EPYC 7763").unwrap();
+        assert_eq!(resident_particles(&milan), 0);
+        assert_eq!(local_grid_in_cache(&milan, 500_000), grid_fits_llc(&milan, 500_000));
     }
 
     #[test]

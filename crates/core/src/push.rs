@@ -105,6 +105,12 @@ pub fn push_species_on<S: ExecSpace>(
     if n == 0 {
         return PushStats::default();
     }
+    if space.accounting() {
+        // charge before pushing: the pre-push cell array is the order the
+        // kernel visits particles in (i.e. after any applied sort), which
+        // is what the coalescing/cache/atomic model needs
+        space.charge(&pk::gpu::Access::Push { cells: &species.cell, grid_cells: grid.cells() });
+    }
     let params = PushParams::new(grid, species.q, species.m);
     let policy = RangePolicy::new(n);
     let blocks = policy.static_blocks(space.concurrency());

@@ -20,6 +20,31 @@ use pk::{ExecSpace, Serial};
 use psort::SortOrder;
 use vsimd::Strategy;
 
+// ── Accounting footprints for the grid-side streaming kernels ─────────────
+//
+// Per-cell byte/flop counts charged to accounting spaces (`pk::SimGpu`).
+// These kernels sweep the grid arrays once with no data-dependent reuse, so
+// a streaming model is exact; the footprints come from the array reads and
+// writes each pass performs (f32 = 4 B).
+
+/// Interpolator load: read E, B, and the TCA stencil neighborhood
+/// (6 arrays × ~7 taps averaged ≈ 60 reads), write 18 coefficients.
+const INTERP_STREAM_BYTES: f64 = 312.0;
+/// Finite-difference coefficient arithmetic per cell.
+const INTERP_FLOPS: f64 = 60.0;
+/// J clear: write jx/jy/jz once.
+const CLEAR_J_BYTES: f64 = 12.0;
+/// Accumulator unload: read 12 fixed-point i64 slots, write + read-modify
+/// J (3 × 2 × 4 B) → 96 + 24 ≈ plus neighbor scatter taps.
+const UNLOAD_BYTES: f64 = 204.0;
+/// Fixed-point → float conversion and adds per cell.
+const UNLOAD_FLOPS: f64 = 12.0;
+/// Leapfrog advance (B half, E, B half): read/write 6 field arrays plus
+/// curl-stencil neighbor reads across the three passes.
+const FIELD_SOLVE_BYTES: f64 = 108.0;
+/// Curl + update arithmetic per cell across the three passes.
+const FIELD_SOLVE_FLOPS: f64 = 60.0;
+
 /// A plane-antenna current driver (the laser injector for the LPI deck):
 /// adds `amplitude · sin(ω·t)` to `jz` over the `x = plane` cells each
 /// step, launching an electromagnetic wave into the plasma.
@@ -153,6 +178,31 @@ impl Simulation {
     /// boundaries) so a new order takes effect immediately.
     pub fn force_next_sort(&mut self) {
         self.steps_since_sort = usize::MAX;
+    }
+
+    /// Decomposed-stepping twin of the scheduled sort inside
+    /// [`Simulation::step_on`]: advance the sort schedule exactly as a
+    /// single-rank step would, and return the order to apply if one is
+    /// due now. The caller owns the actual sorting — a rank driver
+    /// usually holds parallel per-particle state (e.g. global load-order
+    /// id maps) that must be co-permuted with the SoA arrays, so the
+    /// reorder cannot happen behind its back inside
+    /// [`Simulation::begin_step`].
+    pub fn consume_due_sort(&mut self) -> Option<SortOrder> {
+        self.last_sort_ns = 0;
+        self.last_sort_fired = false;
+        let due = match self.sort_order {
+            Some(order)
+                if self.sort_interval > 0 && self.steps_since_sort >= self.sort_interval =>
+            {
+                self.last_sort_fired = true;
+                self.steps_since_sort = 0;
+                Some(order)
+            }
+            _ => None,
+        };
+        self.steps_since_sort = self.steps_since_sort.saturating_add(1);
+        due
     }
 
     /// Apply one tuner arm: strategy, scatter mode (the accumulator is
@@ -326,7 +376,31 @@ impl Simulation {
             if self.sort_interval > 0 && self.steps_since_sort >= self.sort_interval {
                 let _s = telemetry::hspan("sim.sort").arg("order", order);
                 let t0 = telemetry::now_ns();
-                let moved = self.sort_particles(order);
+                let moved = if space.accounting() {
+                    // charge each species' sort as the record-permutation
+                    // gather it performs: `perm[i]` is the old index read
+                    // to fill slot `i`, over the 8-field 32 B SoA record
+                    let mut moved = 0usize;
+                    for s in &mut self.species {
+                        if s.sort(order) {
+                            moved += 1;
+                            let keys: Vec<u32> =
+                                s.sort_perm().iter().map(|&p| p as u32).collect();
+                            space.charge(&pk::gpu::Access::Gather {
+                                label: "sort",
+                                keys: &keys,
+                                table_len: s.len().max(1),
+                                elem_bytes: 32,
+                                stream_bytes: 32.0,
+                                flops: 0.0,
+                                atomic: false,
+                            });
+                        }
+                    }
+                    moved
+                } else {
+                    self.sort_particles(order)
+                };
                 self.last_sort_ns = telemetry::now_ns().saturating_sub(t0);
                 self.last_sort_fired = true;
                 self.steps_since_sort = 0;
@@ -340,11 +414,13 @@ impl Simulation {
         {
             let _s = telemetry::hspan("sim.interpolate");
             load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
+            self.charge_grid_stream(space, "interpolate", INTERP_STREAM_BYTES, INTERP_FLOPS);
         }
         let mut stats = PushStats::default();
         {
             let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
             self.fields.clear_j_on(space);
+            self.charge_grid_stream(space, "clear_j", CLEAR_J_BYTES, 0.0);
             self.acc.reset();
             for s in &mut self.species {
                 let st =
@@ -366,6 +442,25 @@ impl Simulation {
         Ok(stats)
     }
 
+    /// Charge a grid-sweep streaming kernel to an accounting space
+    /// (no-op on real backends — cheap enough not to gate).
+    fn charge_grid_stream<S: ExecSpace>(
+        &self,
+        space: &S,
+        label: &'static str,
+        bytes_per_cell: f64,
+        flops_per_cell: f64,
+    ) {
+        if space.accounting() {
+            let cells = self.grid.cells() as f64;
+            space.charge(&pk::gpu::Access::Stream {
+                label,
+                bytes: cells * bytes_per_cell,
+                flops: cells * flops_per_cell,
+            });
+        }
+    }
+
     /// The grid-side tail of a step — accumulator unload, laser drive,
     /// and the leapfrog field advance — shared bit-for-bit by the
     /// untiled and tiled paths.
@@ -373,6 +468,7 @@ impl Simulation {
         {
             let _s = telemetry::hspan("sim.accumulate");
             self.acc.unload_on(space, self.strategy, &mut self.fields);
+            self.charge_grid_stream(space, "accumulate", UNLOAD_BYTES, UNLOAD_FLOPS);
         }
         {
             let _s = telemetry::hspan("sim.field_solve");
@@ -391,6 +487,7 @@ impl Simulation {
             self.fields.advance_b_on(space, self.strategy, 0.5);
             self.fields.advance_e_on(space, self.strategy);
             self.fields.advance_b_on(space, self.strategy, 0.5);
+            self.charge_grid_stream(space, "field_solve", FIELD_SOLVE_BYTES, FIELD_SOLVE_FLOPS);
         }
     }
 
@@ -417,11 +514,13 @@ impl Simulation {
         {
             let _s = telemetry::hspan("sim.interpolate");
             load_interpolators_into(space, self.strategy, &self.fields, &mut interps);
+            self.charge_grid_stream(space, "interpolate", INTERP_STREAM_BYTES, INTERP_FLOPS);
         }
         let stats;
         {
             let _s = telemetry::hspan("sim.push").arg("species", self.species.len());
             self.fields.clear_j_on(space);
+            self.charge_grid_stream(space, "clear_j", CLEAR_J_BYTES, 0.0);
             self.acc.reset();
             stats = engine.step_all(space, self.strategy, &self.grid, &interps, &self.acc);
         }

@@ -356,6 +356,14 @@ impl Species {
         }
     }
 
+    /// The record permutation applied by the most recent [`Species::sort`]
+    /// (`perm[i]` = pre-sort index of the particle now at `i`). Valid
+    /// immediately after a `sort` call that returned `true`; accounting
+    /// spaces cost the sort's gather traffic from it.
+    pub fn sort_perm(&self) -> &[usize] {
+        &self.scratch.perm
+    }
+
     /// Capacities of the persistent sort scratch `(keys, perm, done)` —
     /// exposed so tests can assert no-alloc-after-warmup.
     pub fn sort_scratch_capacities(&self) -> (usize, usize, usize) {

@@ -142,6 +142,26 @@ impl GpuModel {
         }
         .finish()
     }
+
+    /// Cost of a pure streaming kernel: `bytes` moved once with no reuse
+    /// structure worth simulating and no atomics, plus `flops` of
+    /// arithmetic. Bandwidth- or compute-bound — the model for the
+    /// grid-side field kernels (interpolator load, J clear, accumulator
+    /// unload, leapfrog advance).
+    pub fn stream(&self, bytes: f64, flops: f64) -> KernelCost {
+        let p = &self.platform;
+        KernelCost {
+            dram_bytes: bytes,
+            llc_bytes: bytes,
+            useful_bytes: bytes,
+            flops,
+            t_dram: bytes / p.dram_bw,
+            t_llc: bytes / p.llc_bw,
+            t_compute: flops / p.peak_flops_f32,
+            ..Default::default()
+        }
+        .finish()
+    }
 }
 
 /// Highest multiplicity of any single key value in the stream.
@@ -302,5 +322,30 @@ mod tests {
         assert_eq!(base.llc_bytes(), a100().llc_bytes);
         assert!(scaled.llc_bytes() < base.llc_bytes() / 50);
         assert_eq!(scaled.platform().name, "A100");
+    }
+
+    #[test]
+    fn scaled_model_floors_at_one_page() {
+        // extreme scales clamp to 4096 B — a zero/tiny cache would make
+        // CacheSim degenerate and every access a miss regardless of order
+        for p in platform::gpus() {
+            let m = GpuModel::scaled(p.clone(), 1.0e12);
+            assert_eq!(m.llc_bytes(), 4096, "{} must floor at one page", p.name);
+        }
+        // and the floor only engages when the scale actually demands it
+        let mild = GpuModel::scaled(a100(), 2.0);
+        assert_eq!(mild.llc_bytes(), a100().llc_bytes / 2);
+    }
+
+    #[test]
+    fn stream_kernel_is_bandwidth_bound_at_low_intensity() {
+        let m = GpuModel::new(a100());
+        let c = m.stream(1.0e9, 1.0e8); // AI = 0.1 flop/B: far left of ridge
+        assert_eq!(c.bottleneck(), "dram-bandwidth");
+        assert!((c.time - 1.0e9 / a100().dram_bw).abs() < 1e-12);
+        assert!((c.bandwidth() - a100().dram_bw).abs() < 1.0);
+        // compute-heavy stream flips to the flops roof
+        let hot = m.stream(1.0e6, 1.0e13);
+        assert_eq!(hot.bottleneck(), "compute");
     }
 }

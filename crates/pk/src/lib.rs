@@ -7,11 +7,11 @@
 //! * **Views** ([`View1`], [`View2`], [`View3`]) — multi-dimensional arrays
 //!   with a runtime memory [`Layout`] (`LayoutRight` = C order, `LayoutLeft`
 //!   = Fortran order), mirroring `Kokkos::View`.
-//! * **Execution spaces** ([`Serial`], [`Threads`]) — pluggable backends for
-//!   the parallel patterns, mirroring `Kokkos::Serial` / `Kokkos::OpenMP`.
-//!   The GPU "backend" of this reproduction is the `memsim` crate, which
-//!   executes the same kernels functionally while modelling device memory
-//!   behaviour.
+//! * **Execution spaces** ([`Serial`], [`Threads`], [`SimGpu`]) — pluggable
+//!   backends for the parallel patterns, mirroring `Kokkos::Serial` /
+//!   `Kokkos::OpenMP` / `Kokkos::Cuda`. The GPU backend executes the same
+//!   kernels functionally (bit-identical to [`Serial`]) while charging their
+//!   memory behaviour through the `memsim` hardware model.
 //! * **Parallel patterns** — [`parallel_for`], [`parallel_for_mut`],
 //!   [`parallel_reduce`], [`parallel_scan`], and hierarchical
 //!   [`team::parallel_for_team`], mirroring `Kokkos::parallel_for` et al.
@@ -37,6 +37,7 @@
 //! ```
 
 pub mod atomic;
+pub mod gpu;
 pub mod layout;
 pub mod mdrange;
 pub mod parallel;
@@ -48,6 +49,7 @@ pub mod space;
 pub mod team;
 pub mod view;
 
+pub use gpu::{Access, KernelRecord, SimGpu};
 pub use layout::Layout;
 pub use mdrange::{parallel_for_2d, parallel_for_3d, MDRange2, MDRange3};
 pub use parallel::{parallel_for, parallel_for_mut, parallel_reduce, parallel_scan};
@@ -60,6 +62,7 @@ pub use view::{View1, View2, View3};
 /// Convenience prelude: `use pk::prelude::*;`.
 pub mod prelude {
     pub use crate::atomic::{AtomicF32Buf, AtomicF64Buf, ScatterBuf};
+    pub use crate::gpu::SimGpu;
     pub use crate::layout::Layout;
     pub use crate::mdrange::{parallel_for_2d, parallel_for_3d, MDRange2, MDRange3};
     pub use crate::parallel::{parallel_for, parallel_for_mut, parallel_reduce, parallel_scan};

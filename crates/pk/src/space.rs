@@ -233,6 +233,19 @@ pub trait ExecSpace: Sync {
     /// `Kokkos::fence()` — all patterns here are synchronous, so this is a
     /// no-op provided for API parity.
     fn fence(&self) {}
+
+    /// Whether this space charges memory-access costs ([`crate::gpu::SimGpu`]
+    /// returns `true`). Charge sites should gate any work done purely to
+    /// *build* an access description behind this, so real backends pay
+    /// nothing.
+    fn accounting(&self) -> bool {
+        false
+    }
+
+    /// Account a kernel's memory behaviour against the space's hardware
+    /// model. A no-op on real backends; [`crate::gpu::SimGpu`] records a
+    /// costed ledger entry.
+    fn charge(&self, _access: &crate::gpu::Access<'_>) {}
 }
 
 /// The serial execution space (`Kokkos::Serial`): everything runs on the

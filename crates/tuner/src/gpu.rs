@@ -1,0 +1,96 @@
+//! The GPU arm space: sort orders × Table-1 GPU platforms.
+//!
+//! On a GPU the paper's tuning problem collapses to one axis: *which sort
+//! order* (Figs 6–8). Vectorization strategy is meaningless (the device
+//! compiler owns the lanes) and the deposition scatter is always atomic
+//! (`ScatterView` duplication doesn't pay at 10⁴-thread concurrency), so
+//! the GPU space is [`psort::SortOrder::gpu_arm_set`] × sort cadence —
+//! small enough to sweep exhaustively in one epoch each.
+//!
+//! The arms are ordinary [`Config`]s: the same [`crate::Tuner`] engine
+//! explores them, scored by modeled per-step cost from a `pk::SimGpu`
+//! ledger instead of wall time ([`crate::Measurement`] carries
+//! nanoseconds; modeled seconds × 1e9 slot straight in, since the engine
+//! only ever compares costs). The cache prior is the particle-aware LLC
+//! predicate — on GPUs the resident particle window shares the LLC with
+//! the grid, so the grid-only predicate would call the cliff too early.
+
+use crate::config::Config;
+use crate::prior::prefer_unsorted_with_particles;
+use memsim::platform::Platform;
+use pk::atomic::ScatterMode;
+use psort::SortOrder;
+use vsimd::Strategy;
+
+/// The GPU configuration space: `{unsorted, standard, strided,
+/// tiled-strided(tile)}` × `intervals`. Unsorted arms come first so a
+/// cache prior that prefers them is honored by arm order even before
+/// [`crate::Tuner::with_cache_prior`] reorders.
+pub fn gpu_config_space(tile: usize, intervals: &[usize]) -> Vec<Config> {
+    let mut arms = Vec::new();
+    for order in SortOrder::gpu_arm_set(tile) {
+        match order {
+            None => arms.push(Config::unsorted(Strategy::Auto, ScatterMode::Atomic)),
+            Some(o) => {
+                for &interval in intervals {
+                    arms.push(Config {
+                        order: Some(o),
+                        interval,
+                        strategy: Strategy::Auto,
+                        scatter: ScatterMode::Atomic,
+                        tile: None,
+                    });
+                }
+            }
+        }
+    }
+    arms
+}
+
+/// The GPU cache prior for [`crate::Tuner::with_cache_prior`]: true when
+/// `cells` of grid data *plus* `resident_particles` records fit the
+/// platform LLC, in which case the unsorted arms are explored first.
+pub fn gpu_cache_prior(platform: &Platform, cells: usize, resident_particles: usize) -> bool {
+    prefer_unsorted_with_particles(platform, cells, resident_particles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::platform::by_name;
+
+    #[test]
+    fn gpu_space_is_one_axis_per_order() {
+        let arms = gpu_config_space(216, &[5, 20]);
+        // 1 unsorted + 3 orders × 2 intervals
+        assert_eq!(arms.len(), 1 + 3 * 2);
+        assert!(arms[0].order.is_none());
+        assert!(arms.iter().all(|a| a.strategy == Strategy::Auto));
+        assert!(arms.iter().all(|a| a.scatter == ScatterMode::Atomic));
+        assert!(arms.iter().all(|a| a.tile.is_none()));
+        assert!(arms.iter().all(|a| a.order != Some(SortOrder::Random)));
+        // distinct labels (the tuner keys results by them)
+        let mut labels: Vec<String> = arms.iter().map(Config::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), arms.len());
+    }
+
+    #[test]
+    fn gpu_prior_counts_resident_particles() {
+        // V100: the Fig 9 peak grid fits bare, but not once the resident
+        // particle window is charged at 64 ppc
+        let v100 = by_name("V100").unwrap();
+        assert!(gpu_cache_prior(&v100, 13_824, 0));
+        assert!(!gpu_cache_prior(&v100, 13_824, 64 * 13_824));
+    }
+
+    #[test]
+    fn prior_seeds_gpu_arms_unsorted_first() {
+        let v100 = by_name("V100").unwrap();
+        let arms = gpu_config_space(216, &crate::DEFAULT_INTERVALS);
+        let t = crate::Tuner::new(arms, 4)
+            .with_cache_prior(gpu_cache_prior(&v100, 13_824, 0));
+        assert!(t.current().order.is_none());
+    }
+}

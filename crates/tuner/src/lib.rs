@@ -32,9 +32,11 @@
 
 pub mod config;
 pub mod engine;
+pub mod gpu;
 pub mod measure;
 pub mod prior;
 
 pub use config::{config_space, tile_arms, Config, TileCfg, DEFAULT_INTERVALS};
+pub use gpu::{gpu_cache_prior, gpu_config_space};
 pub use engine::{Phase, Tuner, TunerState};
 pub use measure::Measurement;
